@@ -1,0 +1,154 @@
+(* Benchmark driver: regenerates every figure of the paper's evaluation
+   (Figures 3-13) plus the ablations, then runs Bechamel micro-benchmarks
+   of the core runtime primitives.
+
+     dune exec bench/main.exe                 # everything, paper scale
+     dune exec bench/main.exe -- --quick      # shrunken sweeps
+     dune exec bench/main.exe -- fig3 fig11   # a subset
+     dune exec bench/main.exe -- --no-micro   # skip Bechamel section *)
+
+let run_figures ~scale ~ids =
+  let c = Harness.Experiments.ctx scale in
+  let all = Harness.Experiments.all c in
+  let selected =
+    match ids with
+    | [] -> all
+    | ids ->
+      List.map
+        (fun id ->
+           match List.assoc_opt id all with
+           | Some f -> (id, f)
+           | None ->
+             Printf.eprintf "unknown figure id %S; try: %s\n%!" id
+               (String.concat " " (List.map fst all));
+             exit 2)
+        ids
+  in
+  List.iter
+    (fun (_, f) ->
+       let fig = f c in
+       Harness.Series.render Format.std_formatter fig)
+    selected
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core primitives                    *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let cfg = Samhita.Config.default in
+  let layout = Samhita.Layout.of_config cfg in
+  let line_bytes = Samhita.Config.line_bytes cfg in
+
+  let diff_make =
+    (* A realistic twin/current pair: one dirty page, ~25% of its bytes
+       changed in runs (the microbenchmark's row pattern). *)
+    let twin = Bytes.make line_bytes '\000' in
+    let current = Bytes.copy twin in
+    for i = 0 to (4096 / 16) - 1 do
+      Bytes.set_int64_le current (i * 16) 0x3FF0000000000000L
+    done;
+    Test.make ~name:"diff.make (1 dirty page)"
+      (Staged.stage (fun () ->
+           ignore
+             (Samhita.Diff.make layout ~line:0 ~twin ~current ~dirty_pages:1
+              : Samhita.Diff.t)))
+  in
+  let diff_apply =
+    let twin = Bytes.make line_bytes '\000' in
+    let current = Bytes.copy twin in
+    for i = 0 to (4096 / 16) - 1 do
+      Bytes.set_int64_le current (i * 16) 0x3FF0000000000000L
+    done;
+    let d = Samhita.Diff.make layout ~line:0 ~twin ~current ~dirty_pages:1 in
+    let target = Bytes.make line_bytes '\000' in
+    Test.make ~name:"diff.apply"
+      (Staged.stage (fun () -> Samhita.Diff.apply d target))
+  in
+  let heap_bench =
+    Test.make ~name:"event-queue push+pop x64"
+      (Staged.stage (fun () ->
+           let h = Desim.Heap.create ~initial_capacity:128 () in
+           for i = 0 to 63 do
+             Desim.Heap.push h ~time:(i * 37 mod 101) i
+           done;
+           let rec drain () =
+             match Desim.Heap.pop h with
+             | Some _ -> drain ()
+             | None -> ()
+           in
+           drain ()))
+  in
+  let rng_bench =
+    let rng = Desim.Rng.create ~seed:7 in
+    Test.make ~name:"rng.int64"
+      (Staged.stage (fun () -> ignore (Desim.Rng.int64 rng : int64)))
+  in
+  let arena_bench =
+    let arena = Samhita.Allocator.Arena.create () in
+    Samhita.Allocator.Arena.add_chunk arena ~base:0 ~size:(1 lsl 20);
+    Test.make ~name:"arena alloc+free"
+      (Staged.stage (fun () ->
+           match Samhita.Allocator.Arena.alloc arena ~bytes:64 with
+           | `Hit addr -> Samhita.Allocator.Arena.free arena ~addr ~bytes:64
+           | `Need_chunk ->
+             Samhita.Allocator.Arena.add_chunk arena ~base:0
+               ~size:(1 lsl 20)))
+  in
+  let smp_read =
+    let mcfg = Smp.Config.default in
+    let machine = Smp.Machine.create mcfg in
+    let addr = Smp.Machine.alloc machine ~bytes:4096 ~align:64 in
+    Test.make ~name:"smp coherence read_cost"
+      (Staged.stage (fun () ->
+           ignore (Smp.Machine.read_cost machine ~thread:0 ~addr : float)))
+  in
+  let update_apply =
+    let u = Samhita.Update.of_i64 ~addr:128 0x4000000000000000L in
+    let buf = Bytes.make line_bytes '\000' in
+    Test.make ~name:"update.apply_to_line"
+      (Staged.stage (fun () ->
+           Samhita.Update.apply_to_line layout u ~line:0 buf))
+  in
+  [ diff_make; diff_apply; heap_bench; rng_bench; arena_bench; smp_read;
+    update_apply ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  print_endline "== core-primitive micro-benchmarks (Bechamel) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg instances test in
+       let analyzed = Analyze.all ols Instance.monotonic_clock results in
+       Hashtbl.iter
+         (fun name v ->
+            match Analyze.OLS.estimates v with
+            | Some [ est ] -> Printf.printf "  %-32s %10.1f ns/run\n%!" name est
+            | _ -> Printf.printf "  %-32s (no estimate)\n%!" name)
+         analyzed)
+    (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (bechamel_tests ()));
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let quick = List.mem "--quick" args in
+  let no_micro = List.mem "--no-micro" args in
+  let ids =
+    List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+  in
+  let scale =
+    if quick then Harness.Experiments.Quick else Harness.Experiments.Paper
+  in
+  Printf.printf
+    "Samhita/RegC reproduction benchmarks (%s scale)\n\
+     one table per figure of the paper's evaluation; see EXPERIMENTS.md\n\n"
+    (if quick then "quick" else "paper");
+  run_figures ~scale ~ids;
+  if not no_micro then run_bechamel ()

@@ -1,0 +1,230 @@
+(* Command-line driver for the Samhita/RegC reproduction.
+
+   Subcommands:
+     list                 enumerate reproducible figures/ablations
+     fig <id>             regenerate one figure (text table or CSV)
+     micro                run the Figure-2 micro-benchmark once
+     jacobi               run the Jacobi kernel once
+     md                   run the molecular-dynamics kernel once *)
+
+open Cmdliner
+
+let scale_arg =
+  let parse s =
+    match Harness.Experiments.scale_of_string s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf = function
+    | Harness.Experiments.Quick -> Format.fprintf ppf "quick"
+    | Harness.Experiments.Paper -> Format.fprintf ppf "paper"
+  in
+  Arg.conv (parse, print)
+
+let scale_t =
+  Arg.(
+    value
+    & opt scale_arg Harness.Experiments.Paper
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Sweep size: $(b,quick) or $(b,paper).")
+
+let backend_t =
+  let parse = function
+    | "smh" | "samhita" -> Ok `Smh
+    | "pth" | "pthreads" -> Ok `Pth
+    | s -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
+  in
+  let print ppf v =
+    Format.pp_print_string ppf (match v with `Smh -> "smh" | `Pth -> "pth")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Smh
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:"Runtime: $(b,smh) (Samhita DSM) or $(b,pth) (SMP baseline).")
+
+let backend_of = function
+  | `Smh -> Workload.Samhita_backend.default
+  | `Pth -> Workload.Smp_backend.default
+
+let report_t =
+  Arg.(
+    value & flag
+    & info [ "report" ]
+        ~doc:
+          "After the run, print a system report (fabric traffic, server \
+           and manager utilization, cache behaviour). Samhita backend \
+           only.")
+
+let threads_t =
+  Arg.(
+    value & opt int 8
+    & info [ "t"; "threads" ] ~docv:"N" ~doc:"Compute thread count.")
+
+(* ---------------- list ---------------- *)
+
+let list_cmd =
+  let run () =
+    let c = Harness.Experiments.ctx Harness.Experiments.Quick in
+    List.iter
+      (fun (id, _) -> print_endline id)
+      (Harness.Experiments.all c)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List reproducible figures and ablations")
+    Term.(const run $ const ())
+
+(* ---------------- fig ---------------- *)
+
+let fig_cmd =
+  let id_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Figure id (see $(b,list)).")
+  in
+  let csv_t =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let run id scale csv =
+    match Harness.Experiments.by_id id with
+    | None ->
+      Printf.eprintf "unknown figure id %S (try `samhita_sim list`)\n" id;
+      exit 2
+    | Some f ->
+      let fig = f (Harness.Experiments.ctx scale) in
+      if csv then print_string (Harness.Series.to_csv fig)
+      else Harness.Series.render Format.std_formatter fig
+  in
+  Cmd.v
+    (Cmd.info "fig" ~doc:"Regenerate one figure of the paper's evaluation")
+    Term.(const run $ id_t $ scale_t $ csv_t)
+
+(* ---------------- micro ---------------- *)
+
+let micro_cmd =
+  let alloc_t =
+    let parse = function
+      | "local" -> Ok Workload.Microbench.Local
+      | "global" -> Ok Workload.Microbench.Global
+      | "strided" -> Ok Workload.Microbench.Global_strided
+      | s -> Error (`Msg (Printf.sprintf "unknown allocation mode %S" s))
+    in
+    let print ppf v =
+      Format.pp_print_string ppf (Workload.Microbench.mode_name v)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Workload.Microbench.Local
+      & info [ "alloc" ] ~docv:"MODE"
+          ~doc:"Allocation: $(b,local), $(b,global) or $(b,strided).")
+  in
+  let m_t =
+    Arg.(value & opt int 10 & info [ "m" ] ~docv:"M" ~doc:"Inner iterations.")
+  in
+  let s_t =
+    Arg.(value & opt int 2 & info [ "s" ] ~docv:"S" ~doc:"Rows per thread.")
+  in
+  let run backend threads alloc m s report =
+    let p =
+      { Workload.Microbench.default_params with alloc; m_inner = m; s_rows = s }
+    in
+    let captured = ref None in
+    let b =
+      match backend with
+      | `Smh when report ->
+        Workload.Samhita_backend.make
+          ~on_create:(fun sys -> captured := Some sys)
+          ()
+      | other -> backend_of other
+    in
+    let r = Workload.Microbench.run b ~threads p in
+    Printf.printf
+      "micro %s alloc=%s P=%d M=%d S=%d\n\
+      \  wall            %.3f ms\n\
+      \  compute (mean)  %.3f ms   sync (mean)  %.3f ms\n\
+      \  misses          %d\n\
+      \  gsum            %.9g (expected %.9g) %s\n"
+      (match backend with `Smh -> "samhita" | `Pth -> "pthreads")
+      (Workload.Microbench.mode_name alloc)
+      threads m s
+      (float_of_int r.wall_ns /. 1e6)
+      (Workload.Microbench.mean r.compute_ns /. 1e6)
+      (Workload.Microbench.mean r.sync_ns /. 1e6)
+      (Array.fold_left ( + ) 0 r.misses)
+      r.gsum r.expected_gsum
+      (if r.gsum = r.expected_gsum then "OK" else "MISMATCH");
+    match !captured with
+    | Some sys ->
+      Format.printf "%a@." Harness.Report.pp (Harness.Report.of_system sys)
+    | None ->
+      if report then
+        prerr_endline "--report is only available with --backend smh"
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Run the paper's Figure-2 micro-benchmark once")
+    Term.(const run $ backend_t $ threads_t $ alloc_t $ m_t $ s_t $ report_t)
+
+(* ---------------- jacobi ---------------- *)
+
+let jacobi_cmd =
+  let n_t =
+    Arg.(value & opt int 256 & info [ "n" ] ~docv:"N" ~doc:"Interior size.")
+  in
+  let iters_t =
+    Arg.(value & opt int 20 & info [ "iters" ] ~docv:"K" ~doc:"Sweeps.")
+  in
+  let run backend threads n iters =
+    let p = { Workload.Jacobi.default_params with n; iters } in
+    let r = Workload.Jacobi.run (backend_of backend) ~threads p in
+    let ref_sum, ref_res = Workload.Jacobi.reference p in
+    Printf.printf
+      "jacobi %s P=%d n=%d iters=%d\n\
+      \  wall       %.3f ms\n\
+      \  checksum   %.9g (reference %.9g) %s\n\
+      \  residual   %.9g (reference %.9g)\n"
+      (match backend with `Smh -> "samhita" | `Pth -> "pthreads")
+      threads n iters
+      (float_of_int r.wall_ns /. 1e6)
+      r.checksum ref_sum
+      (if r.checksum = ref_sum then "OK" else "MISMATCH")
+      r.residual ref_res
+  in
+  Cmd.v
+    (Cmd.info "jacobi" ~doc:"Run the Jacobi application kernel once")
+    Term.(const run $ backend_t $ threads_t $ n_t $ iters_t)
+
+(* ---------------- md ---------------- *)
+
+let md_cmd =
+  let n_t =
+    Arg.(value & opt int 192 & info [ "n" ] ~docv:"N" ~doc:"Particles.")
+  in
+  let steps_t =
+    Arg.(value & opt int 10 & info [ "steps" ] ~docv:"K" ~doc:"Time steps.")
+  in
+  let run backend threads n steps =
+    let p = { Workload.Md.default_params with n; steps } in
+    let r = Workload.Md.run (backend_of backend) ~threads p in
+    let ref_sum, _ = Workload.Md.reference p in
+    Printf.printf
+      "md %s P=%d n=%d steps=%d\n\
+      \  wall          %.3f ms\n\
+      \  pos checksum  %.9g (reference %.9g) %s\n"
+      (match backend with `Smh -> "samhita" | `Pth -> "pthreads")
+      threads n steps
+      (float_of_int r.wall_ns /. 1e6)
+      r.pos_checksum ref_sum
+      (if r.pos_checksum = ref_sum then "OK" else "MISMATCH");
+    List.iteri
+      (fun i (ke, pe) ->
+         Printf.printf "  step %2d  kinetic %.6f  potential %.6f\n" i ke pe)
+      r.energies
+  in
+  Cmd.v
+    (Cmd.info "md" ~doc:"Run the molecular-dynamics kernel once")
+    Term.(const run $ backend_t $ threads_t $ n_t $ steps_t)
+
+let () =
+  let doc = "Samhita virtual-shared-memory reproduction driver" in
+  let info = Cmd.info "samhita_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; fig_cmd; micro_cmd; jacobi_cmd; md_cmd ]))

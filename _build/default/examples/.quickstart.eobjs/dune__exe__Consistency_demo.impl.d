@@ -1,0 +1,1 @@
+examples/consistency_demo.ml: List Printf Samhita Workload

@@ -1,0 +1,1 @@
+examples/jacobi_demo.ml: Float List Printf Workload

@@ -1,0 +1,1 @@
+examples/md_demo.ml: Float List Printf Workload

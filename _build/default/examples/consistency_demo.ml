@@ -1,0 +1,48 @@
+(* Why regional consistency? RegC vs a sequentially-consistent DSM.
+
+   Runs the paper's micro-benchmark on the Samhita runtime twice: once
+   under RegC and once under the IVY-style single-writer engine
+   (Config.model = Sc_invalidate). With private (local) data the two are
+   close; under strided false sharing the SC engine pays a full coherence
+   transaction per store — the cost that motivated weakening the
+   consistency model in the first place (paper sections I-II).
+
+     dune exec examples/consistency_demo.exe *)
+
+let () =
+  let threads = 4 in
+  let p = { Workload.Microbench.default_params with m_inner = 5 } in
+  let regc = Workload.Samhita_backend.default in
+  let sc =
+    Workload.Samhita_backend.make
+      ~config:
+        { Samhita.Config.default with model = Samhita.Config.Sc_invalidate }
+      ()
+  in
+  Printf.printf
+    "micro-benchmark, %d threads, M=%d: compute time per thread (ms)\n\n"
+    threads p.m_inner;
+  Printf.printf "  %-8s  %14s  %14s  %10s\n" "alloc" "regc" "sc-invalidate"
+    "ratio";
+  List.iter
+    (fun alloc ->
+       let run backend =
+         let r =
+           Workload.Microbench.run backend ~threads
+             { p with Workload.Microbench.alloc }
+         in
+         assert (r.gsum = r.expected_gsum);
+         Workload.Microbench.mean r.compute_ns /. 1e6
+       in
+       let a = run regc and b = run sc in
+       Printf.printf "  %-8s  %14.3f  %14.3f  %9.0fx\n"
+         (Workload.Microbench.mode_name alloc)
+         a b (b /. a))
+    [ Workload.Microbench.Local; Global; Global_strided ];
+  print_newline ();
+  print_endline
+    "both engines produce bit-identical results; only the cost differs.\n\
+     Under false sharing, single-writer coherence ping-pongs the line on\n\
+     every store, while RegC's multiple-writer diffs batch the damage\n\
+     into synchronization points — the reason DSM systems weaken the\n\
+     consistency model (and what RegC keeps programmable)."

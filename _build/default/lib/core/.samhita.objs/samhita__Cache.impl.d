@@ -1,0 +1,1 @@
+lib/core/cache.ml: Bytes Config Desim Hashtbl Layout List

@@ -1,0 +1,1 @@
+lib/core/coherence_sc.ml: Fabric Hashtbl List

@@ -1,0 +1,1 @@
+lib/core/home.ml: Config Hashtbl List Option

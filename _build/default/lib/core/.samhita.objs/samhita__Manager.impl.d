@@ -1,0 +1,1 @@
+lib/core/manager.ml: Config Desim Fabric Hashtbl Home Layout List Option Queue Update

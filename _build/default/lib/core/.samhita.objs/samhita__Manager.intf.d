@@ -1,0 +1,1 @@
+lib/core/manager.mli: Config Desim Fabric Layout Update

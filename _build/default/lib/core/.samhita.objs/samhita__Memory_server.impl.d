@@ -1,0 +1,1 @@
+lib/core/memory_server.ml: Bytes Config Desim Diff Fabric Hashtbl Layout List Option Printf Update

@@ -1,0 +1,1 @@
+lib/core/memory_server.mli: Config Desim Diff Fabric Layout Update

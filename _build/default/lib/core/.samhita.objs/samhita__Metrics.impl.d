@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Cache Desim Format List System Thread_ctx

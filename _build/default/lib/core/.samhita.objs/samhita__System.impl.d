@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Coherence_sc Config Desim Fabric Layout List Manager Memory_server Printf Thread_ctx

@@ -1,0 +1,1 @@
+lib/core/system.mli: Config Desim Fabric Layout Manager Memory_server Thread_ctx

@@ -1,0 +1,1 @@
+lib/core/thread_ctx.ml: Allocator Array Bytes Cache Char Coherence_sc Config Desim Diff Fabric Hashtbl Home Int32 Int64 Layout List Manager Memory_server Option Printf Update

@@ -1,0 +1,1 @@
+lib/core/thread_ctx.mli: Cache Coherence_sc Config Desim Fabric Layout Manager Memory_server

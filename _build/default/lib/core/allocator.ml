@@ -1,0 +1,56 @@
+let round_size bytes =
+  if bytes <= 0 then invalid_arg "Allocator.round_size: bytes must be > 0";
+  (bytes + 7) / 8 * 8
+
+module Arena = struct
+  type t = {
+    mutable chunk_base : int;
+    mutable chunk_used : int;
+    mutable chunk_size : int;
+    free_lists : (int, int list ref) Hashtbl.t;  (* size -> addresses *)
+    mutable allocated : int;
+    mutable wasted : int;
+  }
+
+  let create () =
+    { chunk_base = 0;
+      chunk_used = 0;
+      chunk_size = 0;
+      free_lists = Hashtbl.create 16;
+      allocated = 0;
+      wasted = 0 }
+
+  let alloc t ~bytes =
+    let size = round_size bytes in
+    match Hashtbl.find_opt t.free_lists size with
+    | Some ({ contents = addr :: rest } as cell) ->
+      cell := rest;
+      t.allocated <- t.allocated + size;
+      `Hit addr
+    | Some _ | None ->
+      if t.chunk_used + size <= t.chunk_size then begin
+        let addr = t.chunk_base + t.chunk_used in
+        t.chunk_used <- t.chunk_used + size;
+        t.allocated <- t.allocated + size;
+        `Hit addr
+      end
+      else `Need_chunk
+
+  let add_chunk t ~base ~size =
+    t.wasted <- t.wasted + (t.chunk_size - t.chunk_used);
+    t.chunk_base <- base;
+    t.chunk_used <- 0;
+    t.chunk_size <- size
+
+  let free t ~addr ~bytes =
+    let size = round_size bytes in
+    match Hashtbl.find_opt t.free_lists size with
+    | Some cell -> cell := addr :: !cell
+    | None -> Hashtbl.replace t.free_lists size (ref [ addr ])
+
+  let allocated_bytes t = t.allocated
+  let wasted_bytes t = t.wasted
+
+  let free_list_blocks t =
+    Hashtbl.fold (fun _ cell acc -> acc + List.length !cell) t.free_lists 0
+end

@@ -1,0 +1,37 @@
+(** Per-thread arena bookkeeping — the first of the paper's three
+    allocation strategies.
+
+    Small requests are served from chunks that the owning thread obtained
+    from the manager. Chunks are line-aligned and exclusively owned, so
+    small allocations from different threads can never share a line —
+    eliminating allocator-induced false sharing (paper §II). Freed blocks
+    go to size-class free lists for exact-size reuse.
+
+    The strategy {e decision} (arena vs shared zone vs striped-large) and
+    the manager round trips live in {!Thread_ctx}; this module is pure
+    address bookkeeping. *)
+
+module Arena : sig
+  type t
+
+  val create : unit -> t
+
+  val alloc : t -> bytes:int -> [ `Hit of int | `Need_chunk ]
+  (** Try to serve from the free lists or the current chunk. [`Need_chunk]
+      means the caller must fetch a fresh chunk from the manager (via
+      {!add_chunk}) and retry. Sizes are rounded up to 8 bytes. *)
+
+  val add_chunk : t -> base:int -> size:int -> unit
+  (** Hand the arena a new chunk. Any remainder of the previous chunk is
+      abandoned (internal fragmentation, counted by {!wasted_bytes}). *)
+
+  val free : t -> addr:int -> bytes:int -> unit
+  (** Return a block for exact-size reuse. *)
+
+  val allocated_bytes : t -> int
+  val wasted_bytes : t -> int
+  val free_list_blocks : t -> int
+end
+
+val round_size : int -> int
+(** Sizes are rounded up to a multiple of 8 bytes. *)

@@ -1,0 +1,224 @@
+type entry = {
+  line : int;
+  data : bytes;
+  mutable version : int;
+  mutable twin : bytes option;
+  mutable dirty_pages : int;
+  mutable tick : int;
+  (* Sequential-consistency mode only: this copy is the line's single
+     writable instance. *)
+  mutable excl : bool;
+}
+
+type arrival = (bytes * int) option
+
+type pending = {
+  mutable stale : bool;
+  mutable waiters : (arrival -> unit) list;
+}
+
+type t = {
+  layout : Layout.t;
+  capacity : int;
+  evict_dirty_first : bool;
+  table : (int, entry) Hashtbl.t;
+  pending : (int, pending) Hashtbl.t;
+  mutable tick : int;
+  c_hits : Desim.Stats.Counter.t;
+  c_misses : Desim.Stats.Counter.t;
+  c_evictions : Desim.Stats.Counter.t;
+  c_dirty_evictions : Desim.Stats.Counter.t;
+  c_invalidations : Desim.Stats.Counter.t;
+  c_prefetch_installs : Desim.Stats.Counter.t;
+}
+
+let create (cfg : Config.t) layout =
+  { layout;
+    capacity = cfg.Config.cache_lines;
+    evict_dirty_first = cfg.Config.evict_dirty_first;
+    table = Hashtbl.create 256;
+    pending = Hashtbl.create 16;
+    tick = 0;
+    c_hits = Desim.Stats.Counter.create ();
+    c_misses = Desim.Stats.Counter.create ();
+    c_evictions = Desim.Stats.Counter.create ();
+    c_dirty_evictions = Desim.Stats.Counter.create ();
+    c_invalidations = Desim.Stats.Counter.create ();
+    c_prefetch_installs = Desim.Stats.Counter.create () }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+
+let touch t (e : entry) =
+  t.tick <- t.tick + 1;
+  e.tick <- t.tick
+
+let find t line =
+  match Hashtbl.find_opt t.table line with
+  | Some e ->
+    touch t e;
+    Some e
+  | None -> None
+
+let peek t line = Hashtbl.find_opt t.table line
+
+let is_dirty e = e.dirty_pages <> 0
+
+(* Scan for the LRU victim; with the write-biased policy dirty lines are
+   preferred (flushing them cheapens future consistency points). *)
+let choose_victim t ~allow_dirty =
+  let best = ref None in
+  let better cand =
+    match !best with
+    | None -> true
+    | Some b ->
+      if t.evict_dirty_first && is_dirty cand <> is_dirty b then
+        (* Prefer dirty when allowed; among equals fall through to LRU. *)
+        is_dirty cand
+      else cand.tick < b.tick
+  in
+  Hashtbl.iter
+    (fun _ e ->
+       if (allow_dirty || not (is_dirty e)) && better e then best := Some e)
+    t.table;
+  !best
+
+let insert t ~line ~data ~version ~evict =
+  (* The caller may have yielded between detecting the miss and calling
+     insert (clock sync, fetch round trip, or the victim flush below), and
+     an asynchronous prefetch completion can install lines meanwhile — so
+     re-check rather than assume absence. *)
+  match Hashtbl.find_opt t.table line with
+  | Some e ->
+    touch t e;
+    e
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then begin
+      match choose_victim t ~allow_dirty:true with
+      | None -> ()
+      | Some victim ->
+        Desim.Stats.Counter.incr t.c_evictions;
+        if is_dirty victim then
+          Desim.Stats.Counter.incr t.c_dirty_evictions;
+        (* [evict] may flush (and yield); re-check afterwards. *)
+        evict victim;
+        Hashtbl.remove t.table victim.line
+    end;
+    (match Hashtbl.find_opt t.table line with
+     | Some e ->
+       touch t e;
+       e
+     | None ->
+       let e =
+         { line; data; version; twin = None; dirty_pages = 0; tick = 0;
+          excl = false }
+       in
+       touch t e;
+       Hashtbl.replace t.table line e;
+       e)
+
+let ensure_room t ~line ~evict =
+  let rec go () =
+    if
+      (not (Hashtbl.mem t.table line))
+      && Hashtbl.length t.table >= t.capacity
+    then begin
+      match choose_victim t ~allow_dirty:true with
+      | None -> ()
+      | Some victim ->
+        Desim.Stats.Counter.incr t.c_evictions;
+        if is_dirty victim then Desim.Stats.Counter.incr t.c_dirty_evictions;
+        evict victim;
+        Hashtbl.remove t.table victim.line;
+        go ()
+    end
+  in
+  go ()
+
+let try_install t ~line ~data ~version =
+  if Hashtbl.mem t.table line then false
+  else begin
+    let have_room =
+      if Hashtbl.length t.table < t.capacity then true
+      else
+        match choose_victim t ~allow_dirty:false with
+        | Some victim ->
+          Desim.Stats.Counter.incr t.c_evictions;
+          Hashtbl.remove t.table victim.line;
+          true
+        | None -> false
+    in
+    if have_room then begin
+      let e =
+        { line; data; version; twin = None; dirty_pages = 0; tick = 0;
+          excl = false }
+      in
+      touch t e;
+      Hashtbl.replace t.table line e;
+      Desim.Stats.Counter.incr t.c_prefetch_installs
+    end;
+    have_room
+  end
+
+let mark_written t e ~offset ~len =
+  if e.twin = None then e.twin <- Some (Bytes.copy e.data);
+  let first = Layout.page_in_line t.layout ~offset in
+  let last = Layout.page_in_line t.layout ~offset:(offset + len - 1) in
+  for p = first to last do
+    e.dirty_pages <- e.dirty_pages lor (1 lsl p)
+  done
+
+let invalidate t line =
+  if Hashtbl.mem t.table line then begin
+    Desim.Stats.Counter.incr t.c_invalidations;
+    Hashtbl.remove t.table line
+  end;
+  match Hashtbl.find_opt t.pending line with
+  | Some p -> p.stale <- true
+  | None -> ()
+
+let dirty_entries t =
+  Hashtbl.fold (fun _ e acc -> if is_dirty e then e :: acc else acc) t.table []
+  |> List.sort (fun a b -> compare a.line b.line)
+
+let clean _t e ~version =
+  e.twin <- None;
+  e.dirty_pages <- 0;
+  e.version <- version
+
+let pending_start t line =
+  if Hashtbl.mem t.pending line then false
+  else begin
+    Hashtbl.replace t.pending line { stale = false; waiters = [] };
+    true
+  end
+
+let is_pending t line = Hashtbl.mem t.pending line
+
+let pending_wait t line =
+  match Hashtbl.find_opt t.pending line with
+  | None -> None
+  | Some p -> Some (fun wake -> p.waiters <- wake :: p.waiters)
+
+let pending_complete t line ~data ~version =
+  match Hashtbl.find_opt t.pending line with
+  | None -> ()
+  | Some p ->
+    Hashtbl.remove t.pending line;
+    let result = if p.stale then None else Some (data, version) in
+    (match (p.waiters, result) with
+     | [], Some (data, version) ->
+       ignore (try_install t ~line ~data ~version : bool)
+     | [], None -> ()
+     | waiters, result ->
+       (* FIFO wake order: earliest waiter installs, the rest find it. *)
+       List.iter (fun wake -> wake result) (List.rev waiters))
+
+let hits t = Desim.Stats.Counter.value t.c_hits
+let misses t = Desim.Stats.Counter.value t.c_misses
+let evictions t = Desim.Stats.Counter.value t.c_evictions
+let dirty_evictions t = Desim.Stats.Counter.value t.c_dirty_evictions
+let invalidations t = Desim.Stats.Counter.value t.c_invalidations
+let prefetch_installs t = Desim.Stats.Counter.value t.c_prefetch_installs
+let note_hit t = Desim.Stats.Counter.incr t.c_hits
+let note_miss t = Desim.Stats.Counter.incr t.c_misses

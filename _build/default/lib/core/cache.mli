@@ -1,0 +1,107 @@
+(** The per-thread software cache over the global address space.
+
+    Every compute thread accesses the GAS through one of these (paper §II:
+    "each compute thread has a local software cache ... populated by demand
+    paging"). Entries are whole lines ([pages_per_line] pages). A line
+    written in an ordinary region lazily gains a {e twin} (pristine copy)
+    and per-page dirty bits, from which {!Diff.make} produces the flush
+    payload at consistency points.
+
+    The cache is pure bookkeeping: fetching, timing and protocol decisions
+    live in {!Thread_ctx}. Eviction selection honours the paper's
+    write-biased policy; actually flushing a dirty victim is the caller's
+    job (the [evict] callback). *)
+
+type entry = {
+  line : int;
+  data : bytes;
+  mutable version : int;  (** Home version this copy corresponds to. *)
+  mutable twin : bytes option;
+  mutable dirty_pages : int;  (** Bitmask over pages of the line. *)
+  mutable tick : int;  (** Last-use stamp for LRU. *)
+  mutable excl : bool;
+      (** Sequential-consistency mode: held exclusive (sole writer). *)
+}
+
+type t
+
+val create : Config.t -> Layout.t -> t
+
+val capacity : t -> int
+val size : t -> int
+
+val find : t -> int -> entry option
+(** Lookup by line id; refreshes LRU state. The single-entry fast path for
+    repeated hits on one line lives in {!Thread_ctx}; this is the general
+    path. *)
+
+val peek : t -> int -> entry option
+(** Lookup without touching LRU state. *)
+
+val insert :
+  t -> line:int -> data:bytes -> version:int -> evict:(entry -> unit) ->
+  entry
+(** Install a fetched line, evicting a victim first when full. The [evict]
+    callback sees the victim (possibly dirty — flush it) before removal.
+    The buffer is owned by the cache afterwards. If the line turned out to
+    be present already (an asynchronous prefetch completed while the caller
+    was blocked fetching), the existing entry is returned and the new
+    buffer dropped. *)
+
+val ensure_room : t -> line:int -> evict:(entry -> unit) -> unit
+(** Evict until inserting [line] would need no eviction (no-op when the
+    line is already cached). The [evict] callback may yield; eviction
+    repeats if the freed slot is taken meanwhile. Used by protocol drivers
+    that must perform their subsequent state transitions atomically. *)
+
+val try_install : t -> line:int -> data:bytes -> version:int -> bool
+(** Install only if no eviction of a {e dirty} line would be needed (the
+    asynchronous prefetch path, which runs outside any process and so
+    cannot flush). Clean victims may be displaced. Returns [false] and
+    drops the data otherwise. *)
+
+val mark_written : t -> entry -> offset:int -> len:int -> unit
+(** Note an ordinary-region write to [entry]: creates the twin on first
+    write and sets the dirty bits of the touched pages. *)
+
+val invalidate : t -> int -> unit
+(** Drop a line (no flush — callers flush first when needed). Marks any
+    in-flight prefetch of that line stale. *)
+
+val dirty_entries : t -> entry list
+(** All entries with dirty pages, ascending line id (deterministic flush
+    order). *)
+
+val clean : t -> entry -> version:int -> unit
+(** After a successful flush: drop twin and dirty bits, record the new home
+    version. *)
+
+(** {2 In-flight prefetch bookkeeping} *)
+
+type arrival = (bytes * int) option
+(** [Some (data, version)] on delivery; [None] when the prefetch was
+    invalidated in flight and the waiter must demand-fetch. *)
+
+val pending_start : t -> int -> bool
+(** Mark a prefetch in flight for the line; [false] if one already is. *)
+
+val is_pending : t -> int -> bool
+
+val pending_wait : t -> int -> ((arrival -> unit) -> unit) option
+(** If the line is in flight, returns a registrar the caller can hand its
+    wake to ([Thread_ctx] suspends on it). *)
+
+val pending_complete : t -> int -> data:bytes -> version:int -> unit
+(** Prefetch delivery: wakes waiters (with [None] if stale) and, when there
+    are no waiters and the line is fresh, installs via {!try_install}. *)
+
+(** {2 Counters} *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val dirty_evictions : t -> int
+val invalidations : t -> int
+val prefetch_installs : t -> int
+val note_hit : t -> unit
+val note_miss : t -> unit

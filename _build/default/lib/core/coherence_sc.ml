@@ -1,0 +1,59 @@
+type peer = {
+  p_node : Fabric.Network.node;
+  p_peek : int -> bytes option;
+  p_invalidate : int -> unit;
+  p_downgrade : int -> unit;
+}
+
+type dirent = { mutable owner : int option; mutable sharers : int }
+
+type t = {
+  peers : (int, peer) Hashtbl.t;
+  dir : (int, dirent) Hashtbl.t;
+}
+
+let create () = { peers = Hashtbl.create 64; dir = Hashtbl.create 1024 }
+
+let register t ~thread peer =
+  if thread < 0 || thread > 61 then
+    invalid_arg "Coherence_sc.register: thread id must fit a bitmask";
+  Hashtbl.replace t.peers thread peer
+
+let peer t thread =
+  match Hashtbl.find_opt t.peers thread with
+  | Some p -> p
+  | None -> invalid_arg "Coherence_sc.peer: unregistered thread"
+
+let entry t line =
+  match Hashtbl.find_opt t.dir line with
+  | Some e -> e
+  | None ->
+    let e = { owner = None; sharers = 0 } in
+    Hashtbl.replace t.dir line e;
+    e
+
+let owner t ~line = (entry t line).owner
+let sharers t ~line = (entry t line).sharers
+
+let set_owner t ~line ~thread =
+  let e = entry t line in
+  e.owner <- Some thread;
+  e.sharers <- 0
+
+let clear_owner t ~line = (entry t line).owner <- None
+
+let add_sharer t ~line ~thread =
+  let e = entry t line in
+  e.sharers <- e.sharers lor (1 lsl thread)
+
+let drop_sharer t ~line ~thread =
+  let e = entry t line in
+  e.sharers <- e.sharers land lnot (1 lsl thread)
+
+let sharer_list t ~line =
+  let mask = sharers t ~line in
+  let rec go i acc =
+    if i > 61 then List.rev acc
+    else go (i + 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  go 0 []

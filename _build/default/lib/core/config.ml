@@ -1,0 +1,112 @@
+type model = Regc | Sc_invalidate
+
+type t = {
+  model : model;
+  page_bytes : int;
+  pages_per_line : int;
+  cache_lines : int;
+  evict_dirty_first : bool;
+  prefetch : bool;
+  small_threshold : int;
+  large_threshold : int;
+  arena_chunk_bytes : int;
+  stripe_lines : int;
+  update_log_history : int;
+  manager_bypass : bool;
+  t_mem : float;
+  t_flop : float;
+  server_service : Desim.Time.span;
+  manager_service : Desim.Time.span;
+  diff_apply_ns_per_byte : float;
+  memory_servers : int;
+  threads_per_node : int;
+  fabric : Fabric.Profile.t;
+  seed : int;
+}
+
+let default =
+  { model = Regc;
+    page_bytes = 4096;
+    pages_per_line = 4;
+    cache_lines = 1024;  (* 16 MiB of cached lines per thread *)
+    evict_dirty_first = true;
+    prefetch = true;
+    small_threshold = 32 * 1024;
+    large_threshold = 1024 * 1024;
+    arena_chunk_bytes = 64 * 1024;
+    stripe_lines = 4;
+    update_log_history = 64;
+    manager_bypass = false;
+    t_mem = 1.2;
+    t_flop = 0.8;
+    server_service = Desim.Time.ns 1_500;
+    manager_service = Desim.Time.ns 1_000;
+    diff_apply_ns_per_byte = 0.25;
+    memory_servers = 1;
+    threads_per_node = 8;
+    fabric = Fabric.Profile.ib_qdr_verbs;
+    seed = 42 }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let line_bytes t = t.page_bytes * t.pages_per_line
+
+let line_shift t =
+  let rec shift n acc = if n <= 1 then acc else shift (n lsr 1) (acc + 1) in
+  shift (line_bytes t) 0
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () = check (is_pow2 t.page_bytes) "page_bytes must be a power of two" in
+  let* () =
+    check
+      (is_pow2 t.pages_per_line && t.pages_per_line <= 62)
+      "pages_per_line must be a power of two <= 62"
+  in
+  let* () = check (t.cache_lines >= 2) "cache_lines must be >= 2" in
+  let* () =
+    check (t.small_threshold >= 8) "small_threshold must be >= 8"
+  in
+  let* () =
+    check
+      (t.large_threshold >= t.small_threshold)
+      "large_threshold must be >= small_threshold"
+  in
+  let* () =
+    check
+      (t.arena_chunk_bytes >= t.small_threshold
+       && t.arena_chunk_bytes mod line_bytes t = 0)
+      "arena_chunk_bytes must be a line multiple >= small_threshold"
+  in
+  let* () = check (t.stripe_lines >= 1) "stripe_lines must be >= 1" in
+  let* () =
+    check (t.update_log_history >= 0) "update_log_history must be >= 0"
+  in
+  let* () = check (t.memory_servers >= 1) "memory_servers must be >= 1" in
+  let* () =
+    check (t.threads_per_node >= 1) "threads_per_node must be >= 1"
+  in
+  let* () =
+    check
+      (t.t_mem >= 0. && t.t_flop >= 0. && t.diff_apply_ns_per_byte >= 0.)
+      "cost-model rates must be non-negative"
+  in
+  Ok ()
+
+let model_name = function Regc -> "regc" | Sc_invalidate -> "sc-invalidate"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>model=%s page=%dB line=%dpages cache=%dlines prefetch=%b dirty-first=%b@ \
+     alloc: small<=%d large>%d arena=%d stripe=%d@ \
+     regc: history=%d bypass=%b@ \
+     cost: mem=%.2fns flop=%.2fns server=%a manager=%a diff=%.3fns/B@ \
+     layout: %d server(s), %d threads/node, %s@]"
+    (model_name t.model)
+    t.page_bytes t.pages_per_line t.cache_lines t.prefetch
+    t.evict_dirty_first t.small_threshold t.large_threshold
+    t.arena_chunk_bytes t.stripe_lines t.update_log_history t.manager_bypass
+    t.t_mem t.t_flop Desim.Time.pp_span t.server_service Desim.Time.pp_span
+    t.manager_service t.diff_apply_ns_per_byte t.memory_servers
+    t.threads_per_node t.fabric.Fabric.Profile.name

@@ -1,0 +1,72 @@
+(** Samhita runtime configuration.
+
+    One record gathers every knob: address-space geometry, cache policy,
+    allocator thresholds, the RegC protocol options, the cost model used to
+    charge simulated time, and the cluster layout. [default] reflects the
+    paper's testbed (Section III): dual quad-core 2.8 GHz Penryn nodes on
+    QDR InfiniBand, one memory server, one manager node. *)
+
+(** Which consistency engine drives the runtime. *)
+type model =
+  | Regc  (** The paper's regional consistency (default). *)
+  | Sc_invalidate
+      (** IVY-style sequential consistency: single writer per line,
+          write-invalidate with recalls — the comparison strawman for the
+          [abl-sc] ablation. *)
+
+type t = {
+  model : model;
+  (* Address-space geometry *)
+  page_bytes : int;  (** Must be a power of two. *)
+  pages_per_line : int;
+      (** Cache lines span multiple pages (paper §II); power of two, and
+          [pages_per_line <= 62] so a dirty bitmask fits an [int]. *)
+  (* Software cache *)
+  cache_lines : int;  (** Per-thread cache capacity, in lines. *)
+  evict_dirty_first : bool;
+      (** Paper §II: eviction is biased toward pages that have been written. *)
+  prefetch : bool;
+      (** Anticipatory paging: on a miss, asynchronously request the
+          adjacent line. *)
+  (* Allocator *)
+  small_threshold : int;
+      (** Requests at or below this size come from per-thread arenas. *)
+  large_threshold : int;
+      (** Requests above this size are stripe-aligned across servers. *)
+  arena_chunk_bytes : int;  (** Granularity of arena refills (line-aligned). *)
+  stripe_lines : int;
+      (** Consecutive lines per server before the home rotates. *)
+  (* RegC protocol *)
+  update_log_history : int;
+      (** Release logs retained per lock for fine-grained patching of
+          acquirers; older acquirers fall back to invalidation. *)
+  manager_bypass : bool;
+      (** Paper §V (future work): on a single compute node, synchronize
+          locally instead of a manager round trip. *)
+  (* Cost model, nanoseconds *)
+  t_mem : float;  (** Per cached (hit) memory access. *)
+  t_flop : float;  (** Per floating-point operation. *)
+  server_service : Desim.Time.span;
+      (** Memory-server software handling per request (user-level DSM). *)
+  manager_service : Desim.Time.span;  (** Manager handling per request. *)
+  diff_apply_ns_per_byte : float;
+      (** Cost at a server to create/apply a byte of diff or update. *)
+  (* Cluster layout *)
+  memory_servers : int;
+  threads_per_node : int;  (** Compute threads hosted per compute node. *)
+  fabric : Fabric.Profile.t;
+  seed : int;
+}
+
+val default : t
+
+val validate : t -> (unit, string) result
+(** Check geometric and layout invariants; returned error names the first
+    violated one. *)
+
+val line_bytes : t -> int
+val line_shift : t -> int
+(** [log2 (line_bytes t)]. *)
+
+val model_name : model -> string
+val pp : Format.formatter -> t -> unit

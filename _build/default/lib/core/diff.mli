@@ -1,0 +1,36 @@
+(** Bytewise diffs for the multiple-writer protocol.
+
+    When a thread first writes a cached line in an ordinary region, the
+    cache keeps a pristine copy (the {e twin}). At the next consistency
+    point, the diff of the current contents against the twin — restricted
+    to pages actually written — travels to the line's home, which applies
+    it. Two threads writing disjoint bytes of the same line (false sharing)
+    produce disjoint diffs that merge cleanly at the home. *)
+
+type span = { offset : int; data : bytes }
+(** A run of modified bytes at [offset] within the line. *)
+
+type t = { line : int; spans : span list }
+
+val make :
+  Layout.t -> line:int -> twin:bytes -> current:bytes -> dirty_pages:int -> t
+(** Compare [current] against [twin] within the pages set in the
+    [dirty_pages] bitmask. Spans are byte-exact: only changed bytes are
+    carried, so concurrent writers of disjoint bytes — even interleaved
+    within one word — merge correctly at the home. Raises
+    [Invalid_argument] if the buffers are not line-sized. *)
+
+val apply : t -> bytes -> unit
+(** Write every span into a line-sized buffer. *)
+
+val is_empty : t -> bool
+val span_count : t -> int
+
+val payload_bytes : t -> int
+(** Total modified bytes carried. *)
+
+val wire_bytes : t -> int
+(** Size on the wire: payload plus per-span and per-diff framing. *)
+
+val coalesce_gap : int
+(** Always 1: see the soundness note in the implementation. *)

@@ -1,0 +1,16 @@
+let server_of_line (cfg : Config.t) ~line =
+  (line / cfg.Config.stripe_lines) mod cfg.Config.memory_servers
+
+let stripe_bytes (cfg : Config.t) =
+  Config.line_bytes cfg * cfg.Config.stripe_lines
+
+let group_lines_by_server cfg lines =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+       let s = server_of_line cfg ~line in
+       let existing = Option.value (Hashtbl.find_opt tbl s) ~default:[] in
+       Hashtbl.replace tbl s (line :: existing))
+    lines;
+  Hashtbl.fold (fun s ls acc -> (s, List.rev ls) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,321 @@
+type lock_id = int
+type barrier_id = int
+type cond_id = int
+
+type grant_action =
+  | Fresh
+  | Patch of Update.t list * (int * int) list
+  | Notices of (int * int) list
+
+type grant = {
+  lock_version : int;
+  action : grant_action;
+  wire_bytes : int;
+}
+
+type waiter = {
+  w_thread : int;
+  w_last_seen : int;
+  w_endpoint : Fabric.Scl.endpoint;
+  w_wake : grant -> unit;
+}
+
+(* One retained release: the lock version it produced, the fine-grained
+   update log, and the home versions of the lines the log touched. *)
+type history_entry = {
+  h_version : int;
+  h_log : Update.t list;
+  h_line_versions : (int * int) list;
+}
+
+type lock_state = {
+  mutable holder : int option;
+  waiters : waiter Queue.t;
+  mutable version : int;
+  mutable history : history_entry list;  (* newest first *)
+  touched : (int, int) Hashtbl.t;  (* line -> latest version under lock *)
+}
+
+type barrier_waiter = {
+  b_endpoint : Fabric.Scl.endpoint;
+  b_wake : (int * int) list * int -> unit;
+}
+
+(* Per epoch: line id -> bitmask of writer thread ids. *)
+type barrier_state = {
+  parties : int;
+  mutable epoch : int;
+  mutable arrived : int;
+  mutable bwaiters : barrier_waiter list;
+  epoch_writers : (int, int) Hashtbl.t;
+}
+
+type cond_waiter = { c_endpoint : Fabric.Scl.endpoint; c_wake : unit -> unit }
+
+type cond_state = { cwaiters : cond_waiter Queue.t }
+
+type t = {
+  cfg : Config.t;
+  layout : Layout.t;
+  engine : Desim.Engine.t;
+  endpoint : Fabric.Scl.endpoint;
+  service : Desim.Resource.t;
+  mutable cursor : int;  (* GAS bump pointer *)
+  locks : (lock_id, lock_state) Hashtbl.t;
+  barriers : (barrier_id, barrier_state) Hashtbl.t;
+  conds : (cond_id, cond_state) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let acquire_request_wire = 48
+let ack_wire = 16
+let grant_framing = 48
+let notice_entry_wire = 12
+
+let notice_wire notices = List.length notices * notice_entry_wire
+
+let release_wire ~log ~line_versions =
+  ack_wire + Update.log_wire_bytes log + notice_wire line_versions
+
+let create cfg layout ~engine ~endpoint =
+  { cfg;
+    layout;
+    engine;
+    endpoint;
+    service = Desim.Resource.create ~name:"manager" ();
+    cursor = 0;
+    locks = Hashtbl.create 64;
+    barriers = Hashtbl.create 16;
+    conds = Hashtbl.create 16;
+    next_id = 1 }
+
+let endpoint t = t.endpoint
+let service t = t.service
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+
+let align_up n a = (n + a - 1) / a * a
+
+let alloc t ~kind ~bytes =
+  if bytes <= 0 then invalid_arg "Manager.alloc: bytes must be positive";
+  let alignment =
+    match kind with
+    | `Arena_chunk -> Config.line_bytes t.cfg
+    | `Shared -> 8
+    | `Large -> Home.stripe_bytes t.cfg
+  in
+  let base = align_up t.cursor alignment in
+  t.cursor <- base + bytes;
+  base
+
+let gas_used t = t.cursor
+
+(* ------------------------------------------------------------------ *)
+(* Locks                                                               *)
+
+let lock_state t lock =
+  match Hashtbl.find_opt t.locks lock with
+  | Some s -> s
+  | None -> invalid_arg "Manager: unknown lock"
+
+let lock_create t =
+  let id = fresh_id t in
+  Hashtbl.replace t.locks id
+    { holder = None;
+      waiters = Queue.create ();
+      version = 0;
+      history = [];
+      touched = Hashtbl.create 16 };
+  id
+
+(* Build the consistency action bringing a thread from [last_seen] up to
+   the lock's current version. *)
+let grant_for t st ~last_seen =
+  let action =
+    if last_seen >= st.version then Fresh
+    else begin
+      (* History covers the gap iff it reaches back to last_seen + 1. *)
+      let covering =
+        List.filter (fun h -> h.h_version > last_seen) st.history
+      in
+      let covered =
+        List.length covering = st.version - last_seen
+        && t.cfg.Config.update_log_history > 0
+      in
+      if covered then begin
+        (* Oldest first so later stores overwrite earlier ones. *)
+        let ordered = List.rev covering in
+        let log = List.concat_map (fun h -> h.h_log) ordered in
+        let lv = Hashtbl.create 16 in
+        List.iter
+          (fun h ->
+             List.iter (fun (l, v) -> Hashtbl.replace lv l v)
+               h.h_line_versions)
+          ordered;
+        Patch (log, Hashtbl.fold (fun l v acc -> (l, v) :: acc) lv [])
+      end
+      else
+        Notices (Hashtbl.fold (fun l v acc -> (l, v) :: acc) st.touched [])
+    end
+  in
+  let wire =
+    grant_framing
+    + (match action with
+       | Fresh -> 0
+       | Patch (log, lvs) -> Update.log_wire_bytes log + notice_wire lvs
+       | Notices ns -> notice_wire ns)
+  in
+  { lock_version = st.version; action; wire_bytes = wire }
+
+let lock_acquire t ~now:_ ~lock ~thread ~last_seen ~endpoint ~wake =
+  let st = lock_state t lock in
+  match st.holder with
+  | None ->
+    st.holder <- Some thread;
+    `Granted (grant_for t st ~last_seen)
+  | Some _ ->
+    Queue.push
+      { w_thread = thread; w_last_seen = last_seen; w_endpoint = endpoint;
+        w_wake = wake }
+      st.waiters;
+    `Queued
+
+let lock_release t ~now ~lock ~thread ~log ~line_versions =
+  let st = lock_state t lock in
+  (match st.holder with
+   | Some h when h = thread -> ()
+   | _ -> invalid_arg "Manager.lock_release: thread does not hold the lock");
+  st.version <- st.version + 1;
+  st.history <-
+    { h_version = st.version; h_log = log; h_line_versions = line_versions }
+    :: st.history;
+  (let keep = t.cfg.Config.update_log_history in
+   if List.length st.history > keep then
+     st.history <- List.filteri (fun i _ -> i < keep) st.history);
+  List.iter (fun (l, v) -> Hashtbl.replace st.touched l v) line_versions;
+  match Queue.take_opt st.waiters with
+  | None -> st.holder <- None
+  | Some w ->
+    st.holder <- Some w.w_thread;
+    let g = grant_for t st ~last_seen:w.w_last_seen in
+    let net = Fabric.Scl.network t.endpoint in
+    let arrival =
+      Fabric.Network.transfer net ~now
+        ~src:(Fabric.Scl.node t.endpoint)
+        ~dst:(Fabric.Scl.node w.w_endpoint)
+        ~bytes:g.wire_bytes
+    in
+    Desim.Engine.schedule_at t.engine arrival (fun () -> w.w_wake g)
+
+let lock_holder t lock = (lock_state t lock).holder
+let lock_version t lock = (lock_state t lock).version
+
+(* ------------------------------------------------------------------ *)
+(* Barriers                                                            *)
+
+let barrier_state t barrier =
+  match Hashtbl.find_opt t.barriers barrier with
+  | Some s -> s
+  | None -> invalid_arg "Manager: unknown barrier"
+
+let barrier_create t ~parties =
+  if parties <= 0 then invalid_arg "Manager.barrier_create: parties";
+  let id = fresh_id t in
+  Hashtbl.replace t.barriers id
+    { parties;
+      epoch = 0;
+      arrived = 0;
+      bwaiters = [];
+      epoch_writers = Hashtbl.create 64 };
+  id
+
+let barrier_arrive t ~now ~barrier ~thread ~lines ~endpoint ~wake =
+  if thread < 0 || thread > 61 then
+    invalid_arg "Manager.barrier_arrive: thread id must fit a writer mask";
+  let st = barrier_state t barrier in
+  let bit = 1 lsl thread in
+  List.iter
+    (fun l ->
+       let mask =
+         Option.value (Hashtbl.find_opt st.epoch_writers l) ~default:0
+       in
+       Hashtbl.replace st.epoch_writers l (mask lor bit))
+    lines;
+  st.arrived <- st.arrived + 1;
+  if st.arrived < st.parties then begin
+    st.bwaiters <- { b_endpoint = endpoint; b_wake = wake } :: st.bwaiters;
+    `Wait
+  end
+  else begin
+    let all =
+      Hashtbl.fold (fun l mask acc -> (l, mask) :: acc) st.epoch_writers []
+    in
+    let wire = ack_wire + notice_wire all in
+    let net = Fabric.Scl.network t.endpoint in
+    List.iter
+      (fun w ->
+         let arrival =
+           Fabric.Network.transfer net ~now
+             ~src:(Fabric.Scl.node t.endpoint)
+             ~dst:(Fabric.Scl.node w.b_endpoint)
+             ~bytes:wire
+         in
+         Desim.Engine.schedule_at t.engine arrival (fun () ->
+             w.b_wake (all, wire)))
+      st.bwaiters;
+    st.bwaiters <- [];
+    st.arrived <- 0;
+    st.epoch <- st.epoch + 1;
+    Hashtbl.reset st.epoch_writers;
+    `Released (all, wire)
+  end
+
+let barrier_epoch t barrier = (barrier_state t barrier).epoch
+
+(* ------------------------------------------------------------------ *)
+(* Condition variables                                                 *)
+
+let cond_state t cond =
+  match Hashtbl.find_opt t.conds cond with
+  | Some s -> s
+  | None -> invalid_arg "Manager: unknown condition variable"
+
+let cond_create t =
+  let id = fresh_id t in
+  Hashtbl.replace t.conds id { cwaiters = Queue.create () };
+  id
+
+let cond_wait t ~cond ~thread:_ ~endpoint ~wake =
+  let st = cond_state t cond in
+  Queue.push { c_endpoint = endpoint; c_wake = wake } st.cwaiters
+
+let wake_one t ~now w =
+  let net = Fabric.Scl.network t.endpoint in
+  let arrival =
+    Fabric.Network.transfer net ~now
+      ~src:(Fabric.Scl.node t.endpoint)
+      ~dst:(Fabric.Scl.node w.c_endpoint)
+      ~bytes:ack_wire
+  in
+  Desim.Engine.schedule_at t.engine arrival (fun () -> w.c_wake ())
+
+let cond_signal t ~now ~cond =
+  let st = cond_state t cond in
+  match Queue.take_opt st.cwaiters with
+  | None -> 0
+  | Some w ->
+    wake_one t ~now w;
+    1
+
+let cond_broadcast t ~now ~cond =
+  let st = cond_state t cond in
+  let n = Queue.length st.cwaiters in
+  Queue.iter (fun w -> wake_one t ~now w) st.cwaiters;
+  Queue.clear st.cwaiters;
+  n

@@ -1,0 +1,119 @@
+(** The Samhita manager: memory allocation, synchronization and the RegC
+    bookkeeping that synchronization carries (paper §II).
+
+    The manager is passive simulation state; requesting threads mutate it
+    during their interactions and charge time through the manager's service
+    {!Desim.Resource} and the fabric. State transitions therefore execute
+    in request-{e issue} order while timestamps model request-{e arrival}
+    order; the two can transiently disagree under contention, which only
+    permutes grant order among already-racing threads (any such order is
+    legal) — documented in DESIGN.md.
+
+    Timing contract: every operation takes [~now], the instant the manager
+    {e finishes processing} the request (the caller reserved the service
+    resource); replies to third parties (lock hand-off, barrier release,
+    condvar signal) are scheduled by the manager itself as fabric transfers
+    starting at [~now]. *)
+
+type t
+
+type lock_id = int
+type barrier_id = int
+type cond_id = int
+
+(** What an acquiring thread must do to make lock-protected data current. *)
+type grant_action =
+  | Fresh  (** Acquirer already saw every release. *)
+  | Patch of Update.t list * (int * int) list
+      (** Apply these fine-grained updates to cached lines, then set the
+          cached versions per the [(line, version)] list. *)
+  | Notices of (int * int) list
+      (** History insufficient: invalidate any cached line older than its
+          [(line, version)] entry. *)
+
+type grant = {
+  lock_version : int;  (** Version the acquirer has seen after applying. *)
+  action : grant_action;
+  wire_bytes : int;  (** Size of the grant reply on the wire. *)
+}
+
+val create :
+  Config.t -> Layout.t -> engine:Desim.Engine.t -> endpoint:Fabric.Scl.endpoint ->
+  t
+
+val endpoint : t -> Fabric.Scl.endpoint
+val service : t -> Desim.Resource.t
+
+(** {2 Allocation} *)
+
+val alloc : t -> kind:[ `Arena_chunk | `Shared | `Large ] -> bytes:int -> int
+(** Reserve GAS space: arena chunks are line-aligned, shared-zone requests
+    8-byte aligned, large requests stripe-aligned. Returns the base
+    address. *)
+
+val gas_used : t -> int
+
+(** {2 Mutual exclusion} *)
+
+val lock_create : t -> lock_id
+
+val lock_acquire :
+  t -> now:Desim.Time.t -> lock:lock_id -> thread:int -> last_seen:int ->
+  endpoint:Fabric.Scl.endpoint -> wake:(grant -> unit) ->
+  [ `Granted of grant | `Queued ]
+(** If free, grants immediately (caller models its own reply transfer). If
+    held, queues the waiter; on hand-off the manager schedules the grant
+    transfer and [wake] runs at its arrival. *)
+
+val lock_release :
+  t -> now:Desim.Time.t -> lock:lock_id -> thread:int ->
+  log:Update.t list -> line_versions:(int * int) list -> unit
+(** Record the release: bumps the lock version, retains the release log
+    (bounded history) for future acquirers, merges [line_versions] into the
+    lock's notice map, and hands the lock to the next waiter if any.
+    Raises [Invalid_argument] if [thread] does not hold the lock. *)
+
+val lock_holder : t -> lock_id -> int option
+val lock_version : t -> lock_id -> int
+
+(** {2 Barriers} *)
+
+val barrier_create : t -> parties:int -> barrier_id
+
+val barrier_arrive :
+  t -> now:Desim.Time.t -> barrier:barrier_id -> thread:int ->
+  lines:int list -> endpoint:Fabric.Scl.endpoint ->
+  wake:((int * int) list * int -> unit) ->
+  [ `Released of (int * int) list * int | `Wait ]
+(** Register arrival along with the lines this thread wrote (flushed) during
+    the ending interval. The last arriver triggers the release: everyone
+    receives the epoch's aggregated write notices as [(line, writer_mask)]
+    pairs ([`Released] for the caller, scheduled [wake]s for the rest, each
+    carrying the reply wire size). A thread must invalidate any cached line
+    whose mask names a writer other than itself — with multiple writers,
+    version equality does not imply content equality, only the home holds
+    the merge. Thread ids must be <= 61 to fit the mask. *)
+
+val barrier_epoch : t -> barrier_id -> int
+
+(** {2 Condition variables} *)
+
+val cond_create : t -> cond_id
+
+val cond_wait :
+  t -> cond:cond_id -> thread:int -> endpoint:Fabric.Scl.endpoint ->
+  wake:(unit -> unit) -> unit
+(** Register a waiter. The caller must have released the associated mutex
+    first and must re-acquire it after [wake] (pthreads semantics). *)
+
+val cond_signal : t -> now:Desim.Time.t -> cond:cond_id -> int
+(** Wake one waiter (if any); returns the number woken. *)
+
+val cond_broadcast : t -> now:Desim.Time.t -> cond:cond_id -> int
+
+(** {2 Wire-size helpers} *)
+
+val acquire_request_wire : int
+val release_wire : log:Update.t list -> line_versions:(int * int) list -> int
+val notice_wire : (int * int) list -> int
+val ack_wire : int

@@ -1,0 +1,72 @@
+type t = {
+  id : int;
+  endpoint : Fabric.Scl.endpoint;
+  layout : Layout.t;
+  cfg : Config.t;
+  store : (int, bytes) Hashtbl.t;
+  versions : (int, int) Hashtbl.t;
+  service : Desim.Resource.t;
+  fetches : Desim.Stats.Counter.t;
+  diffs : Desim.Stats.Counter.t;
+  updates : Desim.Stats.Counter.t;
+}
+
+let create cfg layout ~id ~endpoint =
+  { id;
+    endpoint;
+    layout;
+    cfg;
+    store = Hashtbl.create 1024;
+    versions = Hashtbl.create 1024;
+    service = Desim.Resource.create ~name:(Printf.sprintf "memsrv%d" id) ();
+    fetches = Desim.Stats.Counter.create ();
+    diffs = Desim.Stats.Counter.create ();
+    updates = Desim.Stats.Counter.create () }
+
+let id t = t.id
+let endpoint t = t.endpoint
+let service t = t.service
+
+let line t line_id =
+  match Hashtbl.find_opt t.store line_id with
+  | Some b -> b
+  | None ->
+    let b = Bytes.make t.layout.Layout.line_bytes '\000' in
+    Hashtbl.replace t.store line_id b;
+    b
+
+let version t line_id =
+  Option.value (Hashtbl.find_opt t.versions line_id) ~default:0
+
+let bump_version t line_id =
+  let v = version t line_id + 1 in
+  Hashtbl.replace t.versions line_id v;
+  v
+
+let fetch t line_id =
+  Desim.Stats.Counter.incr t.fetches;
+  (Bytes.copy (line t line_id), version t line_id)
+
+let apply_diff t diff =
+  Desim.Stats.Counter.incr t.diffs;
+  Diff.apply diff (line t diff.Diff.line);
+  bump_version t diff.Diff.line
+
+let apply_update t (u : Update.t) =
+  Desim.Stats.Counter.incr t.updates;
+  let touched = Update.lines_touched t.layout u in
+  List.map
+    (fun l ->
+       Update.apply_to_line t.layout u ~line:l (line t l);
+       (l, bump_version t l))
+    touched
+
+let service_time_for_bytes t bytes =
+  t.cfg.Config.server_service
+  + Desim.Time.span_of_float_ns
+      (float_of_int bytes *. t.cfg.Config.diff_apply_ns_per_byte)
+
+let lines_resident t = Hashtbl.length t.store
+let fetches t = Desim.Stats.Counter.value t.fetches
+let diffs_applied t = Desim.Stats.Counter.value t.diffs
+let updates_applied t = Desim.Stats.Counter.value t.updates

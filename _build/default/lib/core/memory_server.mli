@@ -1,0 +1,44 @@
+(** A memory server: backing store for its share of the global address
+    space.
+
+    Servers are passive state in the simulation — a requesting thread's
+    interaction mutates the store and charges time through the server's
+    service {!Desim.Resource} and the fabric, so concurrent requests from
+    many threads queue exactly as they would at a busy server. Lines
+    materialize zero-filled on first touch (demand-zero backing). *)
+
+type t
+
+val create :
+  Config.t -> Layout.t -> id:int -> endpoint:Fabric.Scl.endpoint -> t
+
+val id : t -> int
+val endpoint : t -> Fabric.Scl.endpoint
+val service : t -> Desim.Resource.t
+
+val line : t -> int -> bytes
+(** The live backing buffer for a line (zero-filled on first touch). The
+    returned buffer is the store's own: callers must not alias it into a
+    cache — use {!fetch}. *)
+
+val version : t -> int -> int
+(** Current version of a line; 0 until first written. *)
+
+val fetch : t -> int -> bytes * int
+(** Copy of the line contents and its version (a page/line fetch reply). *)
+
+val apply_diff : t -> Diff.t -> int
+(** Merge a writer's diff into the backing line; returns the new version. *)
+
+val apply_update : t -> Update.t -> (int * int) list
+(** Apply a fine-grained update; returns [(line, new_version)] for every
+    line it touched. *)
+
+val service_time_for_bytes : t -> int -> Desim.Time.span
+(** Service-loop occupancy for handling a request carrying this many
+    payload bytes (fixed handling cost + per-byte apply cost). *)
+
+val lines_resident : t -> int
+val fetches : t -> int
+val diffs_applied : t -> int
+val updates_applied : t -> int

@@ -1,0 +1,83 @@
+type thread = {
+  thread_id : int;
+  compute_ns : int;
+  sync_ns : int;
+  alloc_ns : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  lock_acquires : int;
+  barrier_waits : int;
+}
+
+let of_ctx ctx =
+  let cache = Thread_ctx.cache ctx in
+  { thread_id = Thread_ctx.id ctx;
+    compute_ns = Thread_ctx.compute_ns ctx;
+    sync_ns = Thread_ctx.sync_ns ctx;
+    alloc_ns = Thread_ctx.alloc_ns ctx;
+    hits = Cache.hits cache;
+    misses = Cache.misses cache;
+    evictions = Cache.evictions cache;
+    invalidations = Cache.invalidations cache;
+    lock_acquires = Thread_ctx.lock_acquires ctx;
+    barrier_waits = Thread_ctx.barrier_waits ctx }
+
+type aggregate = {
+  threads : int;
+  mean_compute_ns : float;
+  max_compute_ns : int;
+  mean_sync_ns : float;
+  max_sync_ns : int;
+  mean_alloc_ns : float;
+  total_misses : int;
+  total_invalidations : int;
+  wall_ns : int;
+}
+
+let aggregate ~wall_ns ts =
+  let n = List.length ts in
+  if n = 0 then invalid_arg "Metrics.aggregate: no threads";
+  let fmean f = List.fold_left (fun a t -> a +. float_of_int (f t)) 0. ts
+                /. float_of_int n in
+  let imax f = List.fold_left (fun a t -> max a (f t)) 0 ts in
+  let isum f = List.fold_left (fun a t -> a + f t) 0 ts in
+  { threads = n;
+    mean_compute_ns = fmean (fun t -> t.compute_ns);
+    max_compute_ns = imax (fun t -> t.compute_ns);
+    mean_sync_ns = fmean (fun t -> t.sync_ns);
+    max_sync_ns = imax (fun t -> t.sync_ns);
+    mean_alloc_ns = fmean (fun t -> t.alloc_ns);
+    total_misses = isum (fun t -> t.misses);
+    total_invalidations = isum (fun t -> t.invalidations);
+    wall_ns = wall_ns }
+
+let of_system sys =
+  aggregate
+    ~wall_ns:(Desim.Time.to_ns (System.elapsed sys))
+    (List.map of_ctx (System.threads sys))
+
+let pp_thread ppf t =
+  Format.fprintf ppf
+    "t%d: compute=%a sync=%a alloc=%a hits=%d misses=%d evict=%d inval=%d \
+     locks=%d barriers=%d"
+    t.thread_id Desim.Time.pp (Desim.Time.of_ns t.compute_ns) Desim.Time.pp
+    (Desim.Time.of_ns t.sync_ns) Desim.Time.pp
+    (Desim.Time.of_ns t.alloc_ns) t.hits t.misses t.evictions
+    t.invalidations t.lock_acquires t.barrier_waits
+
+let pp_aggregate ppf a =
+  Format.fprintf ppf
+    "%d threads: compute mean=%a max=%a, sync mean=%a max=%a, misses=%d \
+     inval=%d, wall=%a"
+    a.threads Desim.Time.pp
+    (Desim.Time.of_ns (int_of_float a.mean_compute_ns))
+    Desim.Time.pp
+    (Desim.Time.of_ns a.max_compute_ns)
+    Desim.Time.pp
+    (Desim.Time.of_ns (int_of_float a.mean_sync_ns))
+    Desim.Time.pp
+    (Desim.Time.of_ns a.max_sync_ns)
+    a.total_misses a.total_invalidations Desim.Time.pp
+    (Desim.Time.of_ns a.wall_ns)

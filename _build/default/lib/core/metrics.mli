@@ -1,0 +1,37 @@
+(** Per-thread and aggregated run metrics (the quantities the paper's
+    figures plot). *)
+
+type thread = {
+  thread_id : int;
+  compute_ns : int;  (** Compute-loop time including miss stalls. *)
+  sync_ns : int;  (** Time in lock/unlock/barrier/condvar operations. *)
+  alloc_ns : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  lock_acquires : int;
+  barrier_waits : int;
+}
+
+val of_ctx : Thread_ctx.t -> thread
+
+type aggregate = {
+  threads : int;
+  mean_compute_ns : float;
+  max_compute_ns : int;
+  mean_sync_ns : float;
+  max_sync_ns : int;
+  mean_alloc_ns : float;
+  total_misses : int;
+  total_invalidations : int;
+  wall_ns : int;  (** Simulated makespan of the run. *)
+}
+
+val aggregate : wall_ns:int -> thread list -> aggregate
+
+val of_system : System.t -> aggregate
+(** Convenience: collect every spawned thread after {!System.run}. *)
+
+val pp_thread : Format.formatter -> thread -> unit
+val pp_aggregate : Format.formatter -> aggregate -> unit

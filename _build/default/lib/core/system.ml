@@ -1,0 +1,92 @@
+type t = {
+  cfg : Config.t;
+  layout : Layout.t;
+  engine : Desim.Engine.t;
+  network : Fabric.Network.t;
+  servers : Memory_server.t array;
+  manager : Manager.t;
+  sc : Coherence_sc.t;
+  total_threads : int;
+  first_compute_node : int;
+  mutable threads_rev : Thread_ctx.t list;
+  mutable next_thread : int;
+}
+
+let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
+  (match Config.validate config with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("System.create: " ^ msg));
+  if threads <= 0 then invalid_arg "System.create: threads must be positive";
+  let engine = Desim.Engine.create ~trace () in
+  let ms = config.Config.memory_servers in
+  let tpn = config.Config.threads_per_node in
+  let compute_nodes = (threads + tpn - 1) / tpn in
+  let node_count = 1 + ms + compute_nodes in
+  let network =
+    Fabric.Network.create engine ~profile:config.Config.fabric ~node_count
+  in
+  let layout = Layout.of_config config in
+  let first_compute_node = 1 + ms in
+  let manager_node =
+    (* §V future work: a single-node system can synchronize locally. *)
+    if config.Config.manager_bypass then first_compute_node else 0
+  in
+  let manager =
+    Manager.create config layout ~engine
+      ~endpoint:(Fabric.Scl.endpoint network manager_node)
+  in
+  let servers =
+    Array.init ms (fun i ->
+        Memory_server.create config layout ~id:i
+          ~endpoint:(Fabric.Scl.endpoint network (1 + i)))
+  in
+  { cfg = config;
+    layout;
+    engine;
+    network;
+    servers;
+    manager;
+    sc = Coherence_sc.create ();
+    total_threads = threads;
+    first_compute_node;
+    threads_rev = [];
+    next_thread = 0 }
+
+let config t = t.cfg
+let layout t = t.layout
+let engine t = t.engine
+let network t = t.network
+let manager t = t.manager
+let servers t = t.servers
+let total_threads t = t.total_threads
+
+let mutex t = Manager.lock_create t.manager
+let barrier t ~parties = Manager.barrier_create t.manager ~parties
+let cond t = Manager.cond_create t.manager
+
+let env t : Thread_ctx.env =
+  { Thread_ctx.cfg = t.cfg;
+    layout = t.layout;
+    engine = t.engine;
+    network = t.network;
+    servers = t.servers;
+    manager = t.manager;
+    sc = t.sc }
+
+let spawn t body =
+  if t.next_thread >= t.total_threads then
+    invalid_arg "System.spawn: all thread slots used";
+  let id = t.next_thread in
+  t.next_thread <- id + 1;
+  let node = t.first_compute_node + (id / t.cfg.Config.threads_per_node) in
+  let ctx = Thread_ctx.create (env t) ~id ~node in
+  t.threads_rev <- ctx :: t.threads_rev;
+  Desim.Engine.spawn t.engine ~name:(Printf.sprintf "thread%d" id)
+    (fun () ->
+       body ctx;
+       Thread_ctx.finish ctx);
+  ctx
+
+let threads t = List.rev t.threads_rev
+let run t = Desim.Engine.run t.engine
+let elapsed t = Desim.Engine.now t.engine

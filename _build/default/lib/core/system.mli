@@ -1,0 +1,45 @@
+(** Assembling a Samhita instance: fabric, memory servers, manager and
+    compute threads (Figure 1 of the paper).
+
+    Node layout mirrors the testbed: node 0 runs the manager, nodes
+    [1 .. memory_servers] run memory servers, and compute threads pack onto
+    subsequent nodes, [threads_per_node] per node (so threads on one node
+    share that node's fabric ports, contending exactly where an 8-core
+    Penryn node's HCA would). With [Config.manager_bypass] the manager is
+    co-located with the first compute node — the paper's §V single-node
+    optimization — turning synchronization round trips into loopbacks. *)
+
+type t
+
+val create :
+  ?trace:Desim.Trace.t -> ?config:Config.t -> threads:int -> unit -> t
+(** Build a system able to host [threads] compute threads. Raises
+    [Invalid_argument] if the configuration fails {!Config.validate}. *)
+
+val config : t -> Config.t
+val layout : t -> Layout.t
+val engine : t -> Desim.Engine.t
+val network : t -> Fabric.Network.t
+val manager : t -> Manager.t
+val servers : t -> Memory_server.t array
+val total_threads : t -> int
+
+val mutex : t -> Manager.lock_id
+(** Create a mutex (setup-time operation; no simulated cost). *)
+
+val barrier : t -> parties:int -> Manager.barrier_id
+val cond : t -> Manager.cond_id
+
+val spawn : t -> (Thread_ctx.t -> unit) -> Thread_ctx.t
+(** Create the next compute thread and schedule its body as a simulation
+    process. The body runs when {!run} drains the engine;
+    {!Thread_ctx.finish} is called on completion automatically. *)
+
+val threads : t -> Thread_ctx.t list
+(** Spawned threads, in id order. *)
+
+val run : t -> unit
+(** Drive the simulation to completion. *)
+
+val elapsed : t -> Desim.Time.t
+(** Simulated makespan so far. *)

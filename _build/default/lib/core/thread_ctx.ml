@@ -1,0 +1,990 @@
+type env = {
+  cfg : Config.t;
+  layout : Layout.t;
+  engine : Desim.Engine.t;
+  network : Fabric.Network.t;
+  servers : Memory_server.t array;
+  manager : Manager.t;
+  sc : Coherence_sc.t;  (** Directory for the Sc_invalidate model. *)
+}
+
+type t = {
+  id : int;
+  e : env;
+  endpoint : Fabric.Scl.endpoint;
+  cache : Cache.t;
+  arena : Allocator.Arena.t;
+  (* Local compute time not yet synchronized with the global clock. *)
+  mutable accum : float;
+  (* Single-line fast path for the common repeated-hit case. *)
+  mutable last : Cache.entry option;
+  (* Held locks, innermost first, each with its consistency-region store
+     log (newest store first). *)
+  mutable held : (Manager.lock_id * Update.t list ref) list;
+  (* Last lock version integrated, per lock. *)
+  lock_seen : (Manager.lock_id, int) Hashtbl.t;
+  (* Lines this thread flushed as ordinary-region diffs (at consistency
+     points or evictions) since its last barrier. Reported as write notices
+     at the next barrier so every other thread invalidates its stale
+     copies. *)
+  interval_writes : (int, unit) Hashtbl.t;
+  mutable m_compute : int;
+  mutable m_sync : int;
+  mutable m_alloc : int;
+  mutable m_locks : int;
+  mutable m_barriers : int;
+}
+
+(* Wire sizes of the fixed protocol messages. *)
+let fetch_request_wire = 32
+let fetch_reply_overhead = 32
+let diff_reply_wire = 24
+let alloc_request_wire = 32
+let alloc_reply_wire = 16
+let cond_request_wire = 32
+let barrier_arrive_overhead = 32
+
+let create e ~id ~node =
+  let t =
+    { id;
+      e;
+      endpoint = Fabric.Scl.endpoint e.network node;
+      cache = Cache.create e.cfg e.layout;
+      arena = Allocator.Arena.create ();
+      accum = 0.;
+      last = None;
+      held = [];
+      lock_seen = Hashtbl.create 8;
+      interval_writes = Hashtbl.create 16;
+      m_compute = 0;
+      m_sync = 0;
+      m_alloc = 0;
+      m_locks = 0;
+      m_barriers = 0 }
+  in
+  (* Register this thread's cache with the SC directory so remote writers
+     can invalidate/recall its copies (no-ops under RegC). *)
+  Coherence_sc.register e.sc ~thread:id
+    { Coherence_sc.p_node = node;
+      p_peek =
+        (fun line ->
+           Option.map
+             (fun (en : Cache.entry) -> en.Cache.data)
+             (Cache.peek t.cache line));
+      p_invalidate =
+        (fun line ->
+           (match Cache.peek t.cache line with
+            | Some en -> (
+                match t.last with
+                | Some le when le == en -> t.last <- None
+                | _ -> ())
+            | None -> ());
+           Cache.invalidate t.cache line);
+      p_downgrade =
+        (fun line ->
+           match Cache.peek t.cache line with
+           | Some en -> en.Cache.excl <- false
+           | None -> ()) };
+  t
+
+let id t = t.id
+let env t = t.e
+let cache t = t.cache
+let endpoint t = t.endpoint
+
+let now t = Desim.Engine.now t.e.engine
+
+let sync_clock t =
+  if t.accum > 0. then begin
+    let d = Desim.Time.span_of_float_ns t.accum in
+    t.accum <- 0.;
+    t.m_compute <- t.m_compute + d;
+    Desim.Engine.delay d
+  end
+
+let charge t ns = t.accum <- t.accum +. ns
+let charge_flops t n = charge t (float_of_int n *. t.e.cfg.Config.t_flop)
+
+let server_of t line =
+  t.e.servers.(Home.server_of_line t.e.cfg ~line)
+
+let transfer_to t ~dst ~bytes =
+  Fabric.Network.transfer t.e.network ~now:(now t)
+    ~src:(Fabric.Scl.node t.endpoint) ~dst:(Fabric.Scl.node dst) ~bytes
+
+let transfer_from t ~src ~at ~bytes =
+  Fabric.Network.transfer t.e.network ~now:at ~src:(Fabric.Scl.node src)
+    ~dst:(Fabric.Scl.node t.endpoint) ~bytes
+
+let delay_until t instant =
+  Desim.Engine.delay (Desim.Time.diff instant (now t))
+
+(* Protocol-event tracing: free when the engine's trace is Null. *)
+let trace t ~tag fmt =
+  let tr = Desim.Engine.trace t.e.engine in
+  Desim.Trace.emitf tr ~time:(now t) ~tag fmt
+
+let traced t = Desim.Trace.enabled (Desim.Engine.trace t.e.engine)
+
+let forget_last t (e : Cache.entry) =
+  match t.last with
+  | Some le when le == e -> t.last <- None
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Flushing (ordinary-region diffs)                                    *)
+
+(* Flush one dirty entry with its own round trip (the eviction path). *)
+let flush_entry t (entry : Cache.entry) =
+  match entry.Cache.twin with
+  | None -> ()
+  | Some twin ->
+    let diff =
+      Diff.make t.e.layout ~line:entry.Cache.line ~twin
+        ~current:entry.Cache.data ~dirty_pages:entry.Cache.dirty_pages
+    in
+    if Diff.is_empty diff then
+      Cache.clean t.cache entry ~version:entry.Cache.version
+    else begin
+      let srv = server_of t entry.Cache.line in
+      let sep = Memory_server.endpoint srv in
+      let arrival = transfer_to t ~dst:sep ~bytes:(Diff.wire_bytes diff) in
+      let served =
+        Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+          ~duration:
+            (Memory_server.service_time_for_bytes srv
+               (Diff.payload_bytes diff))
+      in
+      let reply = transfer_from t ~src:sep ~at:served ~bytes:diff_reply_wire in
+      delay_until t reply;
+      let v = Memory_server.apply_diff srv diff in
+      if traced t then
+        trace t ~tag:"flush" "t%d line=%d bytes=%d v=%d (eviction)" t.id
+          entry.Cache.line (Diff.payload_bytes diff) v;
+      Hashtbl.replace t.interval_writes entry.Cache.line ();
+      Cache.clean t.cache entry ~version:v
+    end
+
+(* Flush every dirty line, batching one message per home server (paper:
+   synchronization moves only the minimum data required). Returns the
+   (line, new_version) write notices. *)
+let flush_dirty_all t =
+  let dirty = Cache.dirty_entries t.cache in
+  if dirty = [] then []
+  else begin
+    let by_server = Hashtbl.create 4 in
+    List.iter
+      (fun (entry : Cache.entry) ->
+         match entry.Cache.twin with
+         | None -> ()
+         | Some twin ->
+           let diff =
+             Diff.make t.e.layout ~line:entry.Cache.line ~twin
+               ~current:entry.Cache.data ~dirty_pages:entry.Cache.dirty_pages
+           in
+           if Diff.is_empty diff then
+             Cache.clean t.cache entry ~version:entry.Cache.version
+           else begin
+             let s = Home.server_of_line t.e.cfg ~line:entry.Cache.line in
+             let existing =
+               Option.value (Hashtbl.find_opt by_server s) ~default:[]
+             in
+             Hashtbl.replace by_server s ((entry, diff) :: existing)
+           end)
+      dirty;
+    let servers = List.sort compare (Hashtbl.fold (fun s _ a -> s :: a) by_server []) in
+    List.concat_map
+      (fun s ->
+         let batch = List.rev (Hashtbl.find by_server s) in
+         let srv = t.e.servers.(s) in
+         let sep = Memory_server.endpoint srv in
+         let wire =
+           List.fold_left (fun acc (_, d) -> acc + Diff.wire_bytes d) 0 batch
+         in
+         let payload =
+           List.fold_left (fun acc (_, d) -> acc + Diff.payload_bytes d) 0
+             batch
+         in
+         let arrival = transfer_to t ~dst:sep ~bytes:wire in
+         let served =
+           Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+             ~duration:(Memory_server.service_time_for_bytes srv payload)
+         in
+         let reply =
+           transfer_from t ~src:sep ~at:served
+             ~bytes:(diff_reply_wire + (12 * List.length batch))
+         in
+         delay_until t reply;
+         List.map
+           (fun ((entry : Cache.entry), diff) ->
+              let v = Memory_server.apply_diff srv diff in
+              Hashtbl.replace t.interval_writes entry.Cache.line ();
+              Cache.clean t.cache entry ~version:v;
+              (entry.Cache.line, v))
+           batch)
+      servers
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sequential-consistency mode (Config.Sc_invalidate): IVY-style single
+   writer per line. All protocol work below runs in the requesting
+   thread's process context; directory state lives in [t.e.sc]. *)
+
+let sc_server_node t line =
+  Fabric.Scl.node (Memory_server.endpoint (server_of t line))
+
+(* Ship an exclusively-held line home (eviction of an exclusive copy). *)
+let sc_writeback t (entry : Cache.entry) =
+  let line = entry.Cache.line in
+  let srv = server_of t line in
+  let sep = Memory_server.endpoint srv in
+  let arrival =
+    transfer_to t ~dst:sep
+      ~bytes:(t.e.layout.Layout.line_bytes + fetch_reply_overhead)
+  in
+  let served =
+    Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+      ~duration:
+        (Memory_server.service_time_for_bytes srv
+           t.e.layout.Layout.line_bytes)
+  in
+  let reply = transfer_from t ~src:sep ~at:served ~bytes:diff_reply_wire in
+  delay_until t reply;
+  Bytes.blit entry.Cache.data 0
+    (Memory_server.line srv line)
+    0 t.e.layout.Layout.line_bytes;
+  entry.Cache.excl <- false;
+  Coherence_sc.clear_owner t.e.sc ~line
+
+(* Recall an exclusive copy held by [owner_tid]: the home asks the owner,
+   the owner ships the line back and keeps a shared copy. Runs at [now]
+   (the home's service completion); returns when the writeback lands. *)
+let sc_recall t ~line ~owner_tid ~now =
+  let srv = server_of t line in
+  let server_node = sc_server_node t line in
+  let p = Coherence_sc.peer t.e.sc owner_tid in
+  let req =
+    Fabric.Network.transfer t.e.network ~now ~src:server_node
+      ~dst:p.Coherence_sc.p_node ~bytes:fetch_request_wire
+  in
+  let back =
+    Fabric.Network.transfer t.e.network ~now:req
+      ~src:p.Coherence_sc.p_node ~dst:server_node
+      ~bytes:(t.e.layout.Layout.line_bytes + fetch_reply_overhead)
+  in
+  (match p.Coherence_sc.p_peek line with
+   | Some data ->
+     Bytes.blit data 0
+       (Memory_server.line srv line)
+       0 t.e.layout.Layout.line_bytes
+   | None -> ());  (* owner evicted meanwhile: home already current *)
+  p.Coherence_sc.p_downgrade line;
+  Coherence_sc.clear_owner t.e.sc ~line;
+  Coherence_sc.add_sharer t.e.sc ~line ~thread:owner_tid;
+  back
+
+(* Invalidate every sharer except [self]; returns when the last ack is
+   back at the home. *)
+let sc_invalidate_sharers t ~line ~now =
+  let server_node = sc_server_node t line in
+  List.fold_left
+    (fun tmax s ->
+       if s = t.id then tmax
+       else begin
+         let p = Coherence_sc.peer t.e.sc s in
+         let inv =
+           Fabric.Network.transfer t.e.network ~now ~src:server_node
+             ~dst:p.Coherence_sc.p_node ~bytes:fetch_request_wire
+         in
+         let ack =
+           Fabric.Network.transfer t.e.network ~now:inv
+             ~src:p.Coherence_sc.p_node ~dst:server_node
+             ~bytes:Manager.ack_wire
+         in
+         p.Coherence_sc.p_invalidate line;
+         Coherence_sc.drop_sharer t.e.sc ~line ~thread:s;
+         Desim.Time.max tmax ack
+       end)
+    now
+    (Coherence_sc.sharer_list t.e.sc ~line)
+
+(* ------------------------------------------------------------------ *)
+(* Demand paging                                                       *)
+
+let evict_victim t (victim : Cache.entry) =
+  forget_last t victim;
+  match t.e.cfg.Config.model with
+  | Config.Regc ->
+    if victim.Cache.dirty_pages <> 0 then flush_entry t victim
+  | Config.Sc_invalidate ->
+    if victim.Cache.excl then sc_writeback t victim
+    else
+      Coherence_sc.drop_sharer t.e.sc ~line:victim.Cache.line ~thread:t.id
+
+let install t ~line ~data ~version =
+  Cache.insert t.cache ~line ~data ~version ~evict:(evict_victim t)
+
+let maybe_prefetch t line =
+  if t.e.cfg.Config.prefetch
+     && t.e.cfg.Config.model = Config.Regc
+     && Option.is_none (Cache.peek t.cache line)
+     && Cache.pending_start t.cache line
+  then begin
+    let srv = server_of t line in
+    let sep = Memory_server.endpoint srv in
+    Fabric.Scl.async_read
+      ~service:(Memory_server.service srv)
+      ~service_time:(Memory_server.service_time_for_bytes srv 0)
+      ~src:t.endpoint ~dst:sep
+      ~bytes:(t.e.layout.Layout.line_bytes + fetch_reply_overhead)
+      ~on_complete:(fun _arrival ->
+        let data, version = Memory_server.fetch srv line in
+        Cache.pending_complete t.cache line ~data ~version)
+      ()
+  end
+
+(* Demand-fetch a line; the clock must already be synchronized. The miss
+   was detected before the caller synchronized the clock (a yield), so the
+   line may have been installed by a prefetch completion meanwhile. *)
+let rec demand_fetch t line : Cache.entry =
+  match Cache.find t.cache line with
+  | Some entry -> entry
+  | None ->
+  match Cache.pending_wait t.cache line with
+  | Some register ->
+    (* A prefetch of this line is in flight: piggyback on it, chaining the
+       prefetch forward immediately so a sequential scan stays pipelined. *)
+    maybe_prefetch t (line + 1);
+    (match Desim.Engine.suspendv ~register:(fun ~wake -> register wake) with
+     | Some (data, version) -> (
+         match Cache.peek t.cache line with
+         | Some entry -> entry  (* an earlier waiter installed it *)
+         | None -> install t ~line ~data ~version)
+     | None -> demand_fetch t line (* invalidated in flight: retry *))
+  | None ->
+    (* Paper section II: on a miss, the request for the missing line and
+       the asynchronous request for the adjacent line are placed together,
+       so the prefetch overlaps the demand fetch. *)
+    maybe_prefetch t (line + 1);
+    let srv = server_of t line in
+    let sep = Memory_server.endpoint srv in
+    let arrival = transfer_to t ~dst:sep ~bytes:fetch_request_wire in
+    let served =
+      Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+        ~duration:(Memory_server.service_time_for_bytes srv 0)
+    in
+    let reply =
+      transfer_from t ~src:sep ~at:served
+        ~bytes:(t.e.layout.Layout.line_bytes + fetch_reply_overhead)
+    in
+    delay_until t reply;
+    let data, version = Memory_server.fetch srv line in
+    if traced t then
+      trace t ~tag:"fetch" "t%d line=%d v=%d from server %d" t.id line
+        version (Memory_server.id srv);
+    install t ~line ~data ~version
+
+(* The directory transaction of an SC fetch/upgrade must execute without
+   yields: concurrent transactions are serialized by the home in reality,
+   and in the simulator by execution order. Cache room is therefore
+   secured first (eviction writebacks may yield), then the state
+   transition (recall, invalidations, fetch, install, ownership) runs
+   atomically, and only then the requester pays its latency. *)
+
+(* SC read miss: fetch from home, recalling an exclusive holder first. *)
+let sc_read_fetch t line : Cache.entry =
+  Cache.ensure_room t.cache ~line ~evict:(evict_victim t);
+  let srv = server_of t line in
+  let sep = Memory_server.endpoint srv in
+  let arrival = transfer_to t ~dst:sep ~bytes:fetch_request_wire in
+  let served =
+    Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+      ~duration:(Memory_server.service_time_for_bytes srv 0)
+  in
+  (* --- atomic directory transaction (no yields) --- *)
+  let ready =
+    match Coherence_sc.owner t.e.sc ~line with
+    | Some o when o <> t.id -> sc_recall t ~line ~owner_tid:o ~now:served
+    | _ -> served
+  in
+  let data, version = Memory_server.fetch srv line in
+  Coherence_sc.add_sharer t.e.sc ~line ~thread:t.id;
+  let entry = install t ~line ~data ~version in
+  (* --- end of transaction; pay the latency --- *)
+  let reply =
+    transfer_from t ~src:sep ~at:ready
+      ~bytes:(t.e.layout.Layout.line_bytes + fetch_reply_overhead)
+  in
+  delay_until t reply;
+  entry
+
+(* SC write: obtain the line exclusively — invalidate every other sharer
+   and recall any other owner; upgrade in place when a shared copy is
+   already cached. The clock must be synchronized. [commit] runs inside
+   the atomic transaction, right after ownership transfers: the store
+   commits logically at grant time, so a concurrent transaction that runs
+   while this thread pays its latency recalls the already-stored value —
+   no lost updates and no grant/steal livelock. *)
+let sc_acquire_exclusive t line ~commit : Cache.entry =
+  Cache.ensure_room t.cache ~line ~evict:(evict_victim t);
+  let srv = server_of t line in
+  let sep = Memory_server.endpoint srv in
+  let arrival = transfer_to t ~dst:sep ~bytes:fetch_request_wire in
+  let served =
+    Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+      ~duration:(Memory_server.service_time_for_bytes srv 0)
+  in
+  (* --- atomic directory transaction (no yields) --- *)
+  let after_recall =
+    match Coherence_sc.owner t.e.sc ~line with
+    | Some o when o <> t.id -> sc_recall t ~line ~owner_tid:o ~now:served
+    | _ -> served
+  in
+  let ready = sc_invalidate_sharers t ~line ~now:after_recall in
+  let cached = Cache.peek t.cache line in
+  let reply_bytes =
+    match cached with
+    | Some _ -> Manager.ack_wire  (* upgrade: data already valid *)
+    | None -> t.e.layout.Layout.line_bytes + fetch_reply_overhead
+  in
+  let entry =
+    match cached with
+    | Some e -> e
+    | None ->
+      let data, version = Memory_server.fetch srv line in
+      install t ~line ~data ~version
+  in
+  entry.Cache.excl <- true;
+  Coherence_sc.drop_sharer t.e.sc ~line ~thread:t.id;
+  Coherence_sc.set_owner t.e.sc ~line ~thread:t.id;
+  commit entry;
+  (* --- end of transaction; pay the latency --- *)
+  let reply = transfer_from t ~src:sep ~at:ready ~bytes:reply_bytes in
+  delay_until t reply;
+  entry
+
+(* Locate the cache entry for [addr], faulting it in on a miss. Returns
+   the entry and the offset within the line. Miss stalls count as compute
+   time, matching the paper's measurement split. *)
+let locate t addr =
+  let line = addr lsr t.e.layout.Layout.line_shift in
+  let entry =
+    match t.last with
+    | Some e when e.Cache.line = line ->
+      Cache.note_hit t.cache;
+      e
+    | _ -> (
+        match Cache.find t.cache line with
+        | Some e ->
+          Cache.note_hit t.cache;
+          t.last <- Some e;
+          e
+        | None ->
+          (* Sync the clock before classifying: accumulated local time may
+             let an in-flight prefetch of this very line land, turning the
+             would-be miss into a hit. *)
+          sync_clock t;
+          (match Cache.find t.cache line with
+           | Some e ->
+             Cache.note_hit t.cache;
+             t.last <- Some e;
+             e
+           | None ->
+             Cache.note_miss t.cache;
+             let start = now t in
+             let e =
+               match t.e.cfg.Config.model with
+               | Config.Regc -> demand_fetch t line
+               | Config.Sc_invalidate -> sc_read_fetch t line
+             in
+             t.m_compute <- t.m_compute + Desim.Time.diff (now t) start;
+             (* Under SC the copy may have been invalidated while the
+                reply was in flight: this read still returns the value
+                current at fetch time (legal — it linearizes at the home's
+                service instant), but the stale object must not become the
+                fast path. *)
+             (match Cache.peek t.cache line with
+              | Some e' when e' == e -> t.last <- Some e
+              | _ -> t.last <- None);
+             e))
+  in
+  t.accum <- t.accum +. t.e.cfg.Config.t_mem;
+  (entry, addr land t.e.layout.Layout.line_mask)
+
+(* SC store driver: fast path on an exclusively-held line, else the full
+   acquire transaction with the store committed inside it. [store] writes
+   into the entry at the line offset and must not yield. *)
+let sc_store t addr ~store =
+  t.accum <- t.accum +. t.e.cfg.Config.t_mem;
+  let line = addr lsr t.e.layout.Layout.line_shift in
+  let off = addr land t.e.layout.Layout.line_mask in
+  match t.last with
+  | Some e when e.Cache.line = line && e.Cache.excl ->
+    Cache.note_hit t.cache;
+    store e off
+  | _ -> (
+      match Cache.find t.cache line with
+      | Some e when e.Cache.excl ->
+        Cache.note_hit t.cache;
+        t.last <- Some e;
+        store e off
+      | _ ->
+        Cache.note_miss t.cache;
+        sync_clock t;
+        let start = now t in
+        let e = sc_acquire_exclusive t line ~commit:(fun e -> store e off) in
+        t.m_compute <- t.m_compute + Desim.Time.diff (now t) start;
+        (* Keep the fast path only if the grant survived the latency. *)
+        (match Cache.peek t.cache line with
+         | Some e' when e' == e && e.Cache.excl -> t.last <- Some e
+         | _ -> t.last <- None))
+
+(* ------------------------------------------------------------------ *)
+(* Typed accessors                                                     *)
+
+let check_aligned addr =
+  if addr land 7 <> 0 then
+    invalid_arg "Samhita: 8-byte accesses must be 8-byte aligned"
+
+let read_i64 t addr =
+  check_aligned addr;
+  let entry, off = locate t addr in
+  Bytes.get_int64_le entry.Cache.data off
+
+let write_i64 t addr v =
+  check_aligned addr;
+  match t.e.cfg.Config.model with
+  | Config.Sc_invalidate ->
+    sc_store t addr ~store:(fun (e : Cache.entry) off ->
+        Bytes.set_int64_le e.Cache.data off v)
+  | Config.Regc ->
+    let entry, off = locate t addr in
+    (* Dirty tracking must precede the store: the twin snapshots the
+       pre-store contents, or the store would be absent from its own
+       diff. *)
+    (match t.held with
+     | (_, log) :: _ ->
+       (* Consistency region: fine-grained logging (the paper's
+          instrumented store path). The store also lands in any twin so
+          it can never be picked up a second time by this thread's
+          ordinary-region diff — that stale re-flush would overwrite
+          later holders' updates at the home. *)
+       log := Update.of_i64 ~addr v :: !log;
+       (match entry.Cache.twin with
+        | Some twin -> Bytes.set_int64_le twin off v
+        | None -> ())
+     | [] -> Cache.mark_written t.cache entry ~offset:off ~len:8);
+    Bytes.set_int64_le entry.Cache.data off v
+
+let read_f64 t addr = Int64.float_of_bits (read_i64 t addr)
+let write_f64 t addr v = write_i64 t addr (Int64.bits_of_float v)
+
+(* Generic raw access, line segment by line segment. Bulk operations charge
+   one cached-access cost per 8 bytes touched (locate charges the first). *)
+let charge_extra_words t seg =
+  if seg > 8 then
+    t.accum <- t.accum +. (float_of_int ((seg - 1) / 8) *. t.e.cfg.Config.t_mem)
+
+let write_bytes t addr src =
+  let len = Bytes.length src in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    match t.e.cfg.Config.model with
+    | Config.Sc_invalidate ->
+      let off0 = a land t.e.layout.Layout.line_mask in
+      let seg = min (len - !pos) (t.e.layout.Layout.line_bytes - off0) in
+      let from = !pos in
+      charge_extra_words t seg;
+      sc_store t a ~store:(fun (e : Cache.entry) off ->
+          Bytes.blit src from e.Cache.data off seg);
+      pos := !pos + seg
+    | Config.Regc ->
+      let entry, off = locate t a in
+      let seg = min (len - !pos) (t.e.layout.Layout.line_bytes - off) in
+      charge_extra_words t seg;
+      (match t.held with
+       | (_, log) :: _ ->
+         log := { Update.addr = a; data = Bytes.sub src !pos seg } :: !log;
+         (match entry.Cache.twin with
+          | Some twin -> Bytes.blit src !pos twin off seg
+          | None -> ())
+       | [] -> Cache.mark_written t.cache entry ~offset:off ~len:seg);
+      Bytes.blit src !pos entry.Cache.data off seg;
+      pos := !pos + seg
+  done
+
+let read_bytes t addr ~len =
+  if len < 0 then invalid_arg "Samhita.read_bytes: negative length";
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let entry, off = locate t a in
+    let seg = min (len - !pos) (t.e.layout.Layout.line_bytes - off) in
+    charge_extra_words t seg;
+    Bytes.blit entry.Cache.data off out !pos seg;
+    pos := !pos + seg
+  done;
+  out
+
+let read_u8 t addr =
+  let entry, off = locate t addr in
+  Char.code (Bytes.get entry.Cache.data off)
+
+let write_u8 t addr v =
+  if v < 0 || v > 255 then invalid_arg "Samhita.write_u8: value out of range";
+  let b = Bytes.make 1 (Char.chr v) in
+  write_bytes t addr b
+
+let check_aligned4 addr =
+  if addr land 3 <> 0 then
+    invalid_arg "Samhita: 4-byte accesses must be 4-byte aligned"
+
+let read_i32 t addr =
+  check_aligned4 addr;
+  let entry, off = locate t addr in
+  Bytes.get_int32_le entry.Cache.data off
+
+let write_i32 t addr v =
+  check_aligned4 addr;
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 v;
+  write_bytes t addr b
+
+let read_f32 t addr = Int32.float_of_bits (read_i32 t addr)
+let write_f32 t addr v = write_i32 t addr (Int32.bits_of_float v)
+
+let in_consistency_region t = t.held <> []
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+
+let manager_alloc_rpc t ~kind ~bytes =
+  let mgr = t.e.manager in
+  let mep = Manager.endpoint mgr in
+  let arrival = transfer_to t ~dst:mep ~bytes:alloc_request_wire in
+  let served =
+    Desim.Resource.reserve (Manager.service mgr) ~now:arrival
+      ~duration:t.e.cfg.Config.manager_service
+  in
+  let reply = transfer_from t ~src:mep ~at:served ~bytes:alloc_reply_wire in
+  delay_until t reply;
+  Manager.alloc mgr ~kind ~bytes
+
+let rec malloc t ~bytes =
+  if bytes <= 0 then invalid_arg "Samhita.malloc: bytes must be positive";
+  charge t t.e.cfg.Config.t_mem;
+  if bytes <= t.e.cfg.Config.small_threshold then begin
+    match Allocator.Arena.alloc t.arena ~bytes with
+    | `Hit addr -> addr
+    | `Need_chunk ->
+      sync_clock t;
+      let start = now t in
+      let size = t.e.cfg.Config.arena_chunk_bytes in
+      let base = manager_alloc_rpc t ~kind:`Arena_chunk ~bytes:size in
+      Allocator.Arena.add_chunk t.arena ~base ~size;
+      t.m_alloc <- t.m_alloc + Desim.Time.diff (now t) start;
+      malloc t ~bytes
+  end
+  else begin
+    sync_clock t;
+    let start = now t in
+    let kind =
+      if bytes <= t.e.cfg.Config.large_threshold then `Shared else `Large
+    in
+    let addr = manager_alloc_rpc t ~kind ~bytes in
+    t.m_alloc <- t.m_alloc + Desim.Time.diff (now t) start;
+    addr
+  end
+
+let free t ~addr ~bytes =
+  if bytes > 0 && bytes <= t.e.cfg.Config.small_threshold then
+    Allocator.Arena.free t.arena ~addr ~bytes
+
+(* ------------------------------------------------------------------ *)
+(* RegC grant application                                              *)
+
+(* Version-based invalidation (lock-grant fallback path). A dirty entry is
+   flushed first so this thread's ordinary writes are not lost; the home
+   merge preserves them. *)
+let apply_notices t notices =
+  List.iter
+    (fun (line, v) ->
+       match Cache.peek t.cache line with
+       | Some entry when entry.Cache.version <> v ->
+         if entry.Cache.dirty_pages <> 0 then flush_entry t entry;
+         forget_last t entry;
+         Cache.invalidate t.cache line
+       | Some _ -> ()
+       | None ->
+         (* Not cached, but a prefetch may be in flight: mark it stale. *)
+         Cache.invalidate t.cache line)
+    notices
+
+(* Writer-mask invalidation (barrier path): drop any cached line written by
+   another thread this interval; only the home holds the merge. *)
+let apply_writer_notices t notices =
+  let self = 1 lsl t.id in
+  List.iter
+    (fun (line, mask) ->
+       if mask land lnot self <> 0 then begin
+         (match Cache.peek t.cache line with
+          | Some entry ->
+            forget_last t entry;
+            Cache.invalidate t.cache line
+          | None ->
+            (* A prefetch may be in flight: mark it stale. *)
+            Cache.invalidate t.cache line)
+       end)
+    notices
+
+let apply_grant t (g : Manager.grant) =
+  match g.Manager.action with
+  | Manager.Fresh -> ()
+  | Manager.Notices ns -> apply_notices t ns
+  | Manager.Patch (log, _line_versions) ->
+    (* The aggregated log spans (last_seen, current]: its final absolute
+       value per byte is the value as of the lock's current version, i.e.
+       the newest value any release produced, so unconditional oldest-first
+       application converges regardless of how fresh the cached copy is.
+       (Writing the same byte both inside and outside consistency regions
+       is a race, exactly as mixing atomic and plain accesses is under
+       Pthreads.) Entry versions are deliberately left at their fetch/flush
+       values: a patch refreshes only this lock's bytes, not the line. *)
+    let patched = ref 0 in
+    List.iter
+      (fun (u : Update.t) ->
+         List.iter
+           (fun line ->
+              match Cache.peek t.cache line with
+              | Some entry ->
+                Update.apply_to_line t.e.layout u ~line entry.Cache.data;
+                (* Keep any twin in step so the patch is not re-flushed as
+                   part of this thread's own diff. *)
+                (match entry.Cache.twin with
+                 | Some twin -> Update.apply_to_line t.e.layout u ~line twin
+                 | None -> ());
+                patched := !patched + Bytes.length u.Update.data
+              | None -> ())
+           (Update.lines_touched t.e.layout u))
+      log;
+    if !patched > 0 then
+      Desim.Engine.delay
+        (Desim.Time.span_of_float_ns
+           (float_of_int !patched *. t.e.cfg.Config.diff_apply_ns_per_byte))
+
+(* ------------------------------------------------------------------ *)
+(* Fine-grained update flush (release path)                            *)
+
+let flush_update_log t log =
+  if log = [] then []
+  else begin
+    let by_server = Hashtbl.create 4 in
+    List.iter
+      (fun (u : Update.t) ->
+         let line = List.hd (Update.lines_touched t.e.layout u) in
+         let s = Home.server_of_line t.e.cfg ~line in
+         let existing =
+           Option.value (Hashtbl.find_opt by_server s) ~default:[]
+         in
+         Hashtbl.replace by_server s (u :: existing))
+      log;
+    let servers =
+      List.sort compare (Hashtbl.fold (fun s _ a -> s :: a) by_server [])
+    in
+    let merged = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+         let batch = List.rev (Hashtbl.find by_server s) in
+         let srv = t.e.servers.(s) in
+         let sep = Memory_server.endpoint srv in
+         let wire = Update.log_wire_bytes batch in
+         let arrival = transfer_to t ~dst:sep ~bytes:wire in
+         let served =
+           Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+             ~duration:(Memory_server.service_time_for_bytes srv wire)
+         in
+         let reply =
+           transfer_from t ~src:sep ~at:served ~bytes:diff_reply_wire
+         in
+         delay_until t reply;
+         List.iter
+           (fun u ->
+              List.iter
+                (fun (line, v) ->
+                   Hashtbl.replace merged line v;
+                   (* Our own cached copy already holds the stored values;
+                      track the new home version so barrier notices do not
+                      invalidate it spuriously. *)
+                   match Cache.peek t.cache line with
+                   | Some entry -> entry.Cache.version <- v
+                   | None -> ())
+                (Memory_server.apply_update srv u))
+           batch)
+      servers;
+    (* Note: lines touched here are deliberately NOT added to
+       interval_writes. Under RegC, consistency-region data propagates via
+       the lock protocol (grant patches); only ordinary-region writes
+       produce barrier write notices. Reading lock-protected data without
+       the lock is a race, exactly as under Pthreads. *)
+    Hashtbl.fold (fun l v acc -> (l, v) :: acc) merged []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization                                                     *)
+
+let mutex_lock t lock =
+  sync_clock t;
+  let start = now t in
+  let last_seen =
+    Option.value (Hashtbl.find_opt t.lock_seen lock) ~default:0
+  in
+  let mgr = t.e.manager in
+  let mep = Manager.endpoint mgr in
+  let grant =
+    Desim.Engine.suspendv ~register:(fun ~wake ->
+        let arrival =
+          transfer_to t ~dst:mep ~bytes:Manager.acquire_request_wire
+        in
+        let served =
+          Desim.Resource.reserve (Manager.service mgr) ~now:arrival
+            ~duration:t.e.cfg.Config.manager_service
+        in
+        match
+          Manager.lock_acquire mgr ~now:served ~lock ~thread:t.id ~last_seen
+            ~endpoint:t.endpoint ~wake
+        with
+        | `Granted g ->
+          let reply =
+            transfer_from t ~src:mep ~at:served ~bytes:g.Manager.wire_bytes
+          in
+          Desim.Engine.schedule_at t.e.engine reply (fun () -> wake g)
+        | `Queued -> ())
+  in
+  if traced t then
+    trace t ~tag:"acquire" "t%d lock=%d v=%d action=%s" t.id lock
+      grant.Manager.lock_version
+      (match grant.Manager.action with
+       | Manager.Fresh -> "fresh"
+       | Manager.Patch (log, _) ->
+         Printf.sprintf "patch(%d updates)" (List.length log)
+       | Manager.Notices ns ->
+         Printf.sprintf "notices(%d lines)" (List.length ns));
+  apply_grant t grant;
+  Hashtbl.replace t.lock_seen lock grant.Manager.lock_version;
+  t.held <- (lock, ref []) :: t.held;
+  t.m_locks <- t.m_locks + 1;
+  t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
+
+let mutex_unlock t lock =
+  sync_clock t;
+  let start = now t in
+  let log =
+    match List.assoc_opt lock t.held with
+    | Some log_ref ->
+      t.held <- List.remove_assoc lock t.held;
+      List.rev !log_ref
+    | None -> invalid_arg "Samhita.mutex_unlock: lock not held by thread"
+  in
+  let line_versions = flush_update_log t log in
+  let mgr = t.e.manager in
+  let mep = Manager.endpoint mgr in
+  let wire = Manager.release_wire ~log ~line_versions in
+  let arrival = transfer_to t ~dst:mep ~bytes:wire in
+  let served =
+    Desim.Resource.reserve (Manager.service mgr) ~now:arrival
+      ~duration:t.e.cfg.Config.manager_service
+  in
+  Manager.lock_release mgr ~now:served ~lock ~thread:t.id ~log ~line_versions;
+  if traced t then
+    trace t ~tag:"release" "t%d lock=%d updates=%d lines=%d" t.id lock
+      (List.length log)
+      (List.length line_versions);
+  Hashtbl.replace t.lock_seen lock (Manager.lock_version mgr lock);
+  let reply = transfer_from t ~src:mep ~at:served ~bytes:Manager.ack_wire in
+  delay_until t reply;
+  t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
+
+let barrier_wait t barrier =
+  sync_clock t;
+  let start = now t in
+  ignore (flush_dirty_all t : (int * int) list);
+  let lines = Hashtbl.fold (fun l () acc -> l :: acc) t.interval_writes [] in
+  Hashtbl.reset t.interval_writes;
+  let mgr = t.e.manager in
+  let mep = Manager.endpoint mgr in
+  let wire = barrier_arrive_overhead + (8 * List.length lines) in
+  let all, _reply_wire =
+    Desim.Engine.suspendv ~register:(fun ~wake ->
+        let arrival = transfer_to t ~dst:mep ~bytes:wire in
+        let served =
+          Desim.Resource.reserve (Manager.service mgr) ~now:arrival
+            ~duration:t.e.cfg.Config.manager_service
+        in
+        match
+          Manager.barrier_arrive mgr ~now:served ~barrier ~thread:t.id
+            ~lines ~endpoint:t.endpoint ~wake
+        with
+        | `Released (all, reply_wire) ->
+          let reply = transfer_from t ~src:mep ~at:served ~bytes:reply_wire in
+          Desim.Engine.schedule_at t.e.engine reply (fun () ->
+              wake (all, reply_wire))
+        | `Wait -> ())
+  in
+  if traced t then
+    trace t ~tag:"barrier" "t%d barrier=%d notices=%d" t.id barrier
+      (List.length all);
+  apply_writer_notices t all;
+  t.m_barriers <- t.m_barriers + 1;
+  t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
+
+let cond_wait t cond lock =
+  mutex_unlock t lock;
+  let start = now t in
+  let mgr = t.e.manager in
+  let mep = Manager.endpoint mgr in
+  Desim.Engine.suspendv ~register:(fun ~wake ->
+      let arrival = transfer_to t ~dst:mep ~bytes:cond_request_wire in
+      let served =
+        Desim.Resource.reserve (Manager.service mgr) ~now:arrival
+          ~duration:t.e.cfg.Config.manager_service
+      in
+      ignore (served : Desim.Time.t);
+      Manager.cond_wait mgr ~cond ~thread:t.id ~endpoint:t.endpoint
+        ~wake:(fun () -> wake ()));
+  t.m_sync <- t.m_sync + Desim.Time.diff (now t) start;
+  mutex_lock t lock
+
+let cond_wake_op t cond ~broadcast =
+  sync_clock t;
+  let start = now t in
+  let mgr = t.e.manager in
+  let mep = Manager.endpoint mgr in
+  let arrival = transfer_to t ~dst:mep ~bytes:cond_request_wire in
+  let served =
+    Desim.Resource.reserve (Manager.service mgr) ~now:arrival
+      ~duration:t.e.cfg.Config.manager_service
+  in
+  let woken =
+    if broadcast then Manager.cond_broadcast mgr ~now:served ~cond
+    else Manager.cond_signal mgr ~now:served ~cond
+  in
+  ignore (woken : int);
+  let reply = transfer_from t ~src:mep ~at:served ~bytes:Manager.ack_wire in
+  delay_until t reply;
+  t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
+
+let cond_signal t cond = cond_wake_op t cond ~broadcast:false
+let cond_broadcast t cond = cond_wake_op t cond ~broadcast:true
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle / metrics                                                 *)
+
+let finish t = sync_clock t
+
+let compute_ns t = t.m_compute
+let sync_ns t = t.m_sync
+let alloc_ns t = t.m_alloc
+let lock_acquires t = t.m_locks
+let barrier_waits t = t.m_barriers

@@ -1,0 +1,1 @@
+lib/fabric/network.ml: Array Desim Link Printf Profile

@@ -1,0 +1,1 @@
+lib/fabric/network.mli: Desim Link Profile

@@ -1,0 +1,1 @@
+lib/fabric/profile.ml: Desim Format

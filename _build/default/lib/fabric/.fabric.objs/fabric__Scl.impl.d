@@ -1,0 +1,1 @@
+lib/fabric/scl.ml: Desim Network

@@ -1,0 +1,1 @@
+lib/fabric/scl.mli: Desim Network

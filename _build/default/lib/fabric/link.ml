@@ -1,0 +1,32 @@
+type t = {
+  name : string;
+  latency : Desim.Time.span;
+  bandwidth : float;  (* bytes per second *)
+  resource : Desim.Resource.t;
+  mutable bytes : int;
+}
+
+let create ?(name = "link") ~latency ~bandwidth_bytes_per_s () =
+  if bandwidth_bytes_per_s <= 0. then
+    invalid_arg "Link.create: bandwidth must be positive";
+  { name;
+    latency;
+    bandwidth = bandwidth_bytes_per_s;
+    resource = Desim.Resource.create ~name ();
+    bytes = 0 }
+
+let name t = t.name
+let latency t = t.latency
+
+let serialization_time t ~bytes =
+  Desim.Time.span_of_float_ns (float_of_int bytes /. t.bandwidth *. 1e9)
+
+let occupy t ~now ~bytes =
+  t.bytes <- t.bytes + bytes;
+  let ser = serialization_time t ~bytes in
+  let wire_done = Desim.Resource.reserve t.resource ~now ~duration:ser in
+  Desim.Time.add wire_done t.latency
+
+let bytes_carried t = t.bytes
+let transfers t = Desim.Resource.jobs t.resource
+let busy_time t = Desim.Resource.busy_time t.resource

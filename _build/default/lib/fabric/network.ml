@@ -1,0 +1,82 @@
+type node = int
+
+type t = {
+  engine : Desim.Engine.t;
+  profile : Profile.t;
+  tx : Link.t array;
+  rx : Link.t array;
+  mutable messages : int;
+  mutable bytes : int;
+}
+
+(* Intra-node copies bypass the fabric: charge memcpy bandwidth. *)
+let loopback_bandwidth = 20.0e9
+
+let create engine ~profile ~node_count =
+  if node_count <= 0 then invalid_arg "Network.create: node_count";
+  let open Profile in
+  let mk_tx i =
+    Link.create
+      ~name:(Printf.sprintf "tx%d" i)
+      ~latency:profile.hop_latency
+      ~bandwidth_bytes_per_s:profile.bandwidth_bytes_per_s ()
+  in
+  let mk_rx i =
+    (* In a switched fabric the receive port adds a second hop of latency;
+       on a direct bus there is only one hop, charged on the tx side. *)
+    let latency = if profile.switched then profile.hop_latency else 0 in
+    Link.create
+      ~name:(Printf.sprintf "rx%d" i)
+      ~latency
+      ~bandwidth_bytes_per_s:profile.bandwidth_bytes_per_s ()
+  in
+  { engine;
+    profile;
+    tx = Array.init node_count mk_tx;
+    rx = Array.init node_count mk_rx;
+    messages = 0;
+    bytes = 0 }
+
+let engine t = t.engine
+let profile t = t.profile
+let node_count t = Array.length t.tx
+
+let check_node t n =
+  if n < 0 || n >= node_count t then invalid_arg "Network: bad node id"
+
+let transfer t ~now ~src ~dst ~bytes =
+  check_node t src;
+  check_node t dst;
+  if bytes < 0 then invalid_arg "Network.transfer: negative size";
+  t.messages <- t.messages + 1;
+  t.bytes <- t.bytes + bytes;
+  let wire_bytes = bytes + t.profile.Profile.header_bytes in
+  let start = Desim.Time.add now t.profile.Profile.post_overhead in
+  if src = dst then
+    let copy =
+      Desim.Time.span_of_float_ns
+        (float_of_int bytes /. loopback_bandwidth *. 1e9)
+    in
+    Desim.Time.add start copy
+  else
+    let at_switch = Link.occupy t.tx.(src) ~now:start ~bytes:wire_bytes in
+    Link.occupy t.rx.(dst) ~now:at_switch ~bytes:wire_bytes
+
+let one_way_estimate t ~bytes =
+  let open Profile in
+  let p = t.profile in
+  let wire_bytes = bytes + p.header_bytes in
+  let ser =
+    Desim.Time.span_of_float_ns
+      (float_of_int wire_bytes /. p.bandwidth_bytes_per_s *. 1e9)
+  in
+  (* Serialization happens at both the tx and rx ports (store-and-forward
+     through the switch, or injection + delivery DMA on a direct bus);
+     propagation latency is per hop. *)
+  let hops = if p.switched then 2 else 1 in
+  p.post_overhead + (2 * ser) + (hops * p.hop_latency)
+
+let messages t = t.messages
+let bytes_carried t = t.bytes
+let tx_link t n = check_node t n; t.tx.(n)
+let rx_link t n = check_node t n; t.rx.(n)

@@ -1,0 +1,34 @@
+(** A fabric instance: a set of nodes joined either through a central
+    switch (cluster) or directly (host + coprocessor on one bus).
+
+    Every node owns a full-duplex pair of links (transmit and receive), so
+    simultaneous transfers contend exactly where the hardware would: at the
+    initiator's injection port and the target's delivery port. *)
+
+type node = int
+(** Node identifier in [\[0, node_count)]. *)
+
+type t
+
+val create : Desim.Engine.t -> profile:Profile.t -> node_count:int -> t
+val engine : t -> Desim.Engine.t
+val profile : t -> Profile.t
+val node_count : t -> int
+
+val transfer :
+  t -> now:Desim.Time.t -> src:node -> dst:node -> bytes:int -> Desim.Time.t
+(** Book a [bytes]-sized message from [src] to [dst] entering the fabric at
+    [now]; returns the arrival instant at [dst]. Includes the initiator's
+    post overhead, per-message header bytes, queueing on both ports and
+    propagation latency. A loopback ([src = dst]) models an intra-node copy:
+    post overhead plus memcpy bandwidth, no fabric crossing. *)
+
+val one_way_estimate : t -> bytes:int -> Desim.Time.span
+(** Uncontended transfer time for a message of this size (for tests and
+    back-of-envelope assertions). *)
+
+val messages : t -> int
+val bytes_carried : t -> int
+
+val tx_link : t -> node -> Link.t
+val rx_link : t -> node -> Link.t

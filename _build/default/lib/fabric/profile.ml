@@ -1,0 +1,39 @@
+type t = {
+  name : string;
+  hop_latency : Desim.Time.span;
+  bandwidth_bytes_per_s : float;
+  post_overhead : Desim.Time.span;
+  switched : bool;
+  header_bytes : int;
+}
+
+(* QDR IB: 32 Gbit/s of data after 8b/10b encoding; effective large-message
+   bandwidth ~3.2 GB/s. Hop latency folds in switch transit and the PCIe
+   crossing on each side of every message, per the paper's "pessimistic"
+   note (Section I). Verbs post + completion handling ~600 ns of host CPU. *)
+let ib_qdr_verbs =
+  { name = "ib-qdr-verbs";
+    hop_latency = Desim.Time.ns 850;
+    bandwidth_bytes_per_s = 3.2e9;
+    post_overhead = Desim.Time.ns 600;
+    switched = true;
+    header_bytes = 64 }
+
+(* SCIF across PCIe gen2 x16: one hop host<->coprocessor, ~6 GB/s payload
+   bandwidth, lower software overhead (no verbs proxy). *)
+let pcie_scif =
+  { name = "pcie-scif";
+    hop_latency = Desim.Time.ns 500;
+    bandwidth_bytes_per_s = 6.0e9;
+    post_overhead = Desim.Time.ns 250;
+    switched = false;
+    header_bytes = 32 }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: hop=%a bw=%.1fGB/s post=%a %s hdr=%dB" t.name Desim.Time.pp_span
+    t.hop_latency
+    (t.bandwidth_bytes_per_s /. 1e9)
+    Desim.Time.pp_span t.post_overhead
+    (if t.switched then "switched" else "direct")
+    t.header_bytes

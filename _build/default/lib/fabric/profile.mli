@@ -1,0 +1,26 @@
+(** Interconnect parameter sets.
+
+    [ib_qdr_verbs] models the paper's actual testbed: QDR InfiniBand between
+    cluster nodes, every transfer crossing NIC + switch + NIC (each side of
+    the communication also crosses a PCIe bus, folded into the per-hop
+    latency), with verbs posting overhead. [pcie_scif] models the paper's
+    §V future-work target: SCIF directly across the PCI Express bus between
+    the host and the coprocessor — one hop, no switch, no verbs proxy. *)
+
+type t = {
+  name : string;
+  hop_latency : Desim.Time.span;
+      (** One-way propagation latency per link (node↔switch or node↔node). *)
+  bandwidth_bytes_per_s : float;  (** Per-link serialization bandwidth. *)
+  post_overhead : Desim.Time.span;
+      (** Software cost to post a work request (charged to the initiator). *)
+  switched : bool;
+      (** Whether node pairs communicate via a central switch (two hops) or
+          directly (one hop). *)
+  header_bytes : int;  (** Per-message framing overhead on the wire. *)
+}
+
+val ib_qdr_verbs : t
+val pcie_scif : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+type endpoint = { net : Network.t; node : Network.node }
+
+let endpoint net node = { net; node }
+let node e = e.node
+let network e = e.net
+
+let request_bytes = 32
+
+let engine e = Network.engine e.net
+
+let block_until e t =
+  let now = Desim.Engine.now (engine e) in
+  Desim.Engine.delay (Desim.Time.diff t now)
+
+(* Arrival time of a one-way transfer initiated now. *)
+let one_way ~src ~dst ~bytes =
+  let now = Desim.Engine.now (engine src) in
+  Network.transfer src.net ~now ~src:src.node ~dst:dst.node ~bytes
+
+let serve ?service ?(service_time = 0) ~at () =
+  match service with
+  | None -> Desim.Time.add at service_time
+  | Some r -> Desim.Resource.reserve r ~now:at ~duration:service_time
+
+(* Completion time of a round trip whose request enters the fabric now. *)
+let round_trip ?service ?service_time ~src ~dst ~request_bytes:req
+    ~reply_bytes () =
+  let now = Desim.Engine.now (engine src) in
+  let at_dst =
+    Network.transfer src.net ~now ~src:src.node ~dst:dst.node ~bytes:req
+  in
+  let served = serve ?service ?service_time ~at:at_dst () in
+  Network.transfer src.net ~now:served ~src:dst.node ~dst:src.node
+    ~bytes:reply_bytes
+
+let rdma_write ~src ~dst ~bytes =
+  block_until src (one_way ~src ~dst ~bytes)
+
+let rdma_read ?service ?service_time ~src ~dst ~bytes () =
+  block_until src
+    (round_trip ?service ?service_time ~src ~dst ~request_bytes
+       ~reply_bytes:bytes ())
+
+let rpc ?service ?service_time ~src ~dst ~request_bytes:req ~reply_bytes () =
+  block_until src
+    (round_trip ?service ?service_time ~src ~dst ~request_bytes:req
+       ~reply_bytes ())
+
+let async_read ?service ?service_time ~src ~dst ~bytes ~on_complete () =
+  let arrival =
+    round_trip ?service ?service_time ~src ~dst ~request_bytes
+      ~reply_bytes:bytes ()
+  in
+  Desim.Engine.schedule_at (engine src) arrival (fun () ->
+      on_complete arrival)

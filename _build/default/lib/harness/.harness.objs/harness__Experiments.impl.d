@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Fabric Hashtbl List Printf Samhita Series Workload

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Desim Fabric Format List Samhita

@@ -1,0 +1,1 @@
+lib/harness/series.ml: Buffer Float Format List Option Printf String

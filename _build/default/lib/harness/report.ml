@@ -1,0 +1,109 @@
+type server_stats = {
+  s_id : int;
+  s_fetches : int;
+  s_diffs : int;
+  s_updates : int;
+  s_lines : int;
+  s_util : float;
+}
+
+type thread_stats = {
+  t_metrics : Samhita.Metrics.thread;
+  t_prefetch_installs : int;
+  t_dirty_evictions : int;
+}
+
+type t = {
+  wall : Desim.Time.t;
+  net_messages : int;
+  net_bytes : int;
+  servers : server_stats list;
+  manager_util : float;
+  manager_jobs : int;
+  gas_used : int;
+  threads : thread_stats list;
+}
+
+let of_system sys =
+  let wall = Samhita.System.elapsed sys in
+  let net = Samhita.System.network sys in
+  let servers =
+    Array.to_list (Samhita.System.servers sys)
+    |> List.map (fun srv ->
+        { s_id = Samhita.Memory_server.id srv;
+          s_fetches = Samhita.Memory_server.fetches srv;
+          s_diffs = Samhita.Memory_server.diffs_applied srv;
+          s_updates = Samhita.Memory_server.updates_applied srv;
+          s_lines = Samhita.Memory_server.lines_resident srv;
+          s_util =
+            Desim.Resource.utilization
+              (Samhita.Memory_server.service srv)
+              ~horizon:wall })
+  in
+  let manager = Samhita.System.manager sys in
+  { wall;
+    net_messages = Fabric.Network.messages net;
+    net_bytes = Fabric.Network.bytes_carried net;
+    servers;
+    manager_util =
+      Desim.Resource.utilization (Samhita.Manager.service manager)
+        ~horizon:wall;
+    manager_jobs = Desim.Resource.jobs (Samhita.Manager.service manager);
+    gas_used = Samhita.Manager.gas_used manager;
+    threads =
+      List.map
+        (fun ctx ->
+           let cache = Samhita.Thread_ctx.cache ctx in
+           { t_metrics = Samhita.Metrics.of_ctx ctx;
+             t_prefetch_installs = Samhita.Cache.prefetch_installs cache;
+             t_dirty_evictions = Samhita.Cache.dirty_evictions cache })
+        (Samhita.System.threads sys) }
+
+let fabric_bytes t = t.net_bytes
+let fabric_messages t = t.net_messages
+
+let server_utilization t i =
+  match List.find_opt (fun s -> s.s_id = i) t.servers with
+  | Some s -> s.s_util
+  | None -> invalid_arg "Report.server_utilization: unknown server"
+
+let manager_utilization t = t.manager_util
+
+let total_misses t =
+  List.fold_left (fun acc th -> acc + th.t_metrics.Samhita.Metrics.misses) 0
+    t.threads
+
+let total_hits t =
+  List.fold_left (fun acc th -> acc + th.t_metrics.Samhita.Metrics.hits) 0
+    t.threads
+
+let hit_rate t =
+  let h = total_hits t and m = total_misses t in
+  if h + m = 0 then 1.0 else float_of_int h /. float_of_int (h + m)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>== run report ==@,";
+  Format.fprintf ppf "makespan            %a@," Desim.Time.pp t.wall;
+  Format.fprintf ppf "fabric              %d messages, %d bytes (%.2f MB)@,"
+    t.net_messages t.net_bytes
+    (float_of_int t.net_bytes /. 1e6);
+  Format.fprintf ppf "global addr space   %d bytes reserved@," t.gas_used;
+  Format.fprintf ppf "manager             %d requests, %.1f%% utilized@,"
+    t.manager_jobs (100. *. t.manager_util);
+  List.iter
+    (fun s ->
+       Format.fprintf ppf
+         "memory server %d     %d fetches, %d diffs, %d updates, %d lines \
+          resident, %.1f%% utilized@,"
+         s.s_id s.s_fetches s.s_diffs s.s_updates s.s_lines
+         (100. *. s.s_util))
+    t.servers;
+  Format.fprintf ppf "cache hit rate      %.4f (%d hits / %d misses)@,"
+    (hit_rate t) (total_hits t) (total_misses t);
+  List.iter
+    (fun th ->
+       Format.fprintf ppf "  %a prefetch-installs=%d dirty-evicts=%d@,"
+         Samhita.Metrics.pp_thread th.t_metrics th.t_prefetch_installs
+         th.t_dirty_evictions)
+    t.threads;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,29 @@
+(** Post-run system reports: where the time and bytes went.
+
+    Aggregates fabric, memory-server, manager and per-thread cache
+    statistics from a finished {!Samhita.System} run into a readable
+    breakdown — the operational view an operator of the real system would
+    get from its counters. *)
+
+type t
+
+val of_system : Samhita.System.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Multi-section report: fabric traffic, per-server activity and
+    utilization, manager utilization, per-thread cache behaviour and time
+    split. *)
+
+val fabric_bytes : t -> int
+val fabric_messages : t -> int
+
+val server_utilization : t -> int -> float
+(** Service-loop utilization of server [i] over the run's makespan. *)
+
+val manager_utilization : t -> float
+
+val total_misses : t -> int
+val total_hits : t -> int
+
+val hit_rate : t -> float
+(** Fraction of accesses served by the software caches. *)

@@ -1,0 +1,87 @@
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+  notes : string list;
+}
+
+let xs fig =
+  List.concat_map (fun s -> List.map fst s.points) fig.series
+  |> List.sort_uniq compare
+
+let value_at fig ~label ~x =
+  match List.find_opt (fun s -> s.label = label) fig.series with
+  | None -> None
+  | Some s ->
+    List.find_opt (fun (px, _) -> px = x) s.points |> Option.map snd
+
+let cell_of v =
+  if Float.is_nan v then "nan"
+  else if Float.abs v >= 1e6 || (Float.abs v < 1e-3 && v <> 0.) then
+    Printf.sprintf "%.4g" v
+  else Printf.sprintf "%.4f" v
+
+let render ppf fig =
+  Format.fprintf ppf "== %s: %s ==@." fig.id fig.title;
+  Format.fprintf ppf "   (x = %s, y = %s)@." fig.xlabel fig.ylabel;
+  let xvals = xs fig in
+  let headers = fig.xlabel :: List.map (fun s -> s.label) fig.series in
+  let rows =
+    List.map
+      (fun x ->
+         let fx =
+           if Float.is_integer x then Printf.sprintf "%.0f" x
+           else Printf.sprintf "%g" x
+         in
+         fx
+         :: List.map
+           (fun s ->
+              match List.assoc_opt x s.points with
+              | Some v -> cell_of v
+              | None -> "-")
+           fig.series)
+      xvals
+  in
+  let table = headers :: rows in
+  let ncols = List.length headers in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row c)))
+          0 table)
+  in
+  List.iter
+    (fun row ->
+       List.iteri
+         (fun c cell ->
+            Format.fprintf ppf "%s%s"
+              (if c = 0 then "  " else "  | ")
+              (Printf.sprintf "%*s" (List.nth widths c) cell))
+         row;
+       Format.fprintf ppf "@.")
+    table;
+  List.iter (fun n -> Format.fprintf ppf "  # %s@." n) fig.notes;
+  Format.fprintf ppf "@."
+
+let to_csv fig =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat "," (fig.xlabel :: List.map (fun s -> s.label) fig.series));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun x ->
+       Buffer.add_string buf (Printf.sprintf "%g" x);
+       List.iter
+         (fun s ->
+            Buffer.add_char buf ',';
+            match List.assoc_opt x s.points with
+            | Some v -> Buffer.add_string buf (Printf.sprintf "%.9g" v)
+            | None -> ())
+         fig.series;
+       Buffer.add_char buf '\n')
+    (xs fig);
+  Buffer.contents buf

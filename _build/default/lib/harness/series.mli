@@ -1,0 +1,28 @@
+(** Figure data and rendering.
+
+    Every reproduced figure is a set of named series over a shared x axis,
+    printed as an aligned text table (the rows/series the paper plots) and
+    exportable as CSV. *)
+
+type series = { label : string; points : (float * float) list }
+
+type figure = {
+  id : string;  (** e.g. "fig3" *)
+  title : string;
+  xlabel : string;
+  ylabel : string;
+  series : series list;
+  notes : string list;  (** Shape expectations / commentary lines. *)
+}
+
+val render : Format.formatter -> figure -> unit
+(** Aligned table: one row per distinct x, one column per series. Cells for
+    series lacking a point at that x print "-". *)
+
+val to_csv : figure -> string
+
+val value_at : figure -> label:string -> x:float -> float option
+(** Lookup for tests and shape assertions. *)
+
+val xs : figure -> float list
+(** Distinct x values, ascending. *)

@@ -1,0 +1,103 @@
+type t = {
+  mutable now : Time.t;
+  queue : (unit -> unit) Heap.t;
+  mutable live : int;  (* processes spawned and not yet finished *)
+  trace : Trace.t;
+}
+
+exception Stalled of string
+
+type _ Effect.t +=
+  | Delay : Time.span -> unit Effect.t
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+
+let create ?(trace = Trace.null) () =
+  { now = Time.zero; queue = Heap.create (); live = 0; trace }
+
+let now t = t.now
+let trace t = t.trace
+
+let schedule_at t at thunk =
+  if Time.( < ) at t.now then
+    invalid_arg "Engine.schedule_at: instant is in the simulated past";
+  Heap.push t.queue ~time:(Time.to_ns at) thunk
+
+let schedule t ?(delay = 0) thunk =
+  let delay = if delay < 0 then 0 else delay in
+  schedule_at t (Time.add t.now delay) thunk
+
+(* Run [body] under the effect handler that maps Delay/Suspend onto the
+   event queue. Continuations are one-shot; Suspend guards against double
+   wake so synchronization primitives may broadcast defensively. *)
+let exec_process t name body =
+  let open Effect.Deep in
+  let handler =
+    { retc = (fun () -> t.live <- t.live - 1);
+      exnc =
+        (fun exn ->
+           t.live <- t.live - 1;
+           Trace.emitf t.trace ~time:t.now ~tag:"process"
+             "%s raised %s" name (Printexc.to_string exn);
+           raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+           match eff with
+           | Delay d ->
+             Some
+               (fun (k : (a, unit) continuation) ->
+                  schedule t ~delay:d (fun () -> continue k ()))
+           | Suspend register ->
+             Some
+               (fun (k : (a, unit) continuation) ->
+                  let woken = ref false in
+                  let wake v =
+                    if not !woken then begin
+                      woken := true;
+                      schedule t (fun () -> continue k v)
+                    end
+                  in
+                  register wake)
+           | _ -> None);
+    }
+  in
+  match_with body () handler
+
+let spawn t ?(delay = 0) ?(name = "process") body =
+  t.live <- t.live + 1;
+  schedule t ~delay (fun () -> exec_process t name body)
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, thunk) ->
+    t.now <- Time.of_ns time;
+    thunk ();
+    true
+
+let run t =
+  while step t do () done;
+  if t.live > 0 then
+    raise
+      (Stalled
+         (Printf.sprintf
+            "simulation stalled at t=%dns with %d process(es) blocked"
+            (Time.to_ns t.now) t.live))
+
+let run_until t limit =
+  let continue_ = ref true in
+  while !continue_ do
+    match Heap.peek_time t.queue with
+    | Some next when Time.( <= ) (Time.of_ns next) limit ->
+      ignore (step t : bool)
+    | _ -> continue_ := false
+  done;
+  if Time.( < ) t.now limit then t.now <- limit
+
+let delay d = if d > 0 then Effect.perform (Delay d)
+let yield () = Effect.perform (Delay 0)
+
+let suspend ~register =
+  Effect.perform (Suspend (fun wake -> register ~wake))
+
+let suspendv ~register =
+  Effect.perform (Suspend (fun wake -> register ~wake))

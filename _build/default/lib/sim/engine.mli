@@ -1,0 +1,61 @@
+(** Discrete-event simulation engine with effects-based processes.
+
+    The engine owns a clock and an event queue of thunks. A {e process} is
+    an ordinary OCaml function run under an effect handler; it interacts
+    with simulated time through {!delay}, {!suspend} and {!yield}, which
+    must only be called from inside a process body. Events scheduled for the
+    same instant run in insertion order, so a run is fully deterministic. *)
+
+type t
+
+exception Stalled of string
+(** Raised by {!run} when processes remain blocked but no event can ever
+    wake them (a deadlock in the simulated system). *)
+
+val create : ?trace:Trace.t -> unit -> t
+
+val now : t -> Time.t
+(** Current simulated time. Callable from anywhere. *)
+
+val trace : t -> Trace.t
+
+val schedule : t -> ?delay:Time.span -> (unit -> unit) -> unit
+(** Enqueue a plain callback to run at [now + delay] (default: now). The
+    callback runs outside any process context; use {!spawn} if it needs to
+    delay or suspend. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** Enqueue a callback at an absolute instant, which must not be in the
+    simulated past. *)
+
+val spawn : t -> ?delay:Time.span -> ?name:string -> (unit -> unit) -> unit
+(** Start a new process at [now + delay]. The engine counts live processes
+    so {!run} can detect deadlock. *)
+
+val run : t -> unit
+(** Drain the event queue. Raises {!Stalled} if processes spawned via
+    {!spawn} are still suspended when the queue empties. Exceptions raised
+    by process bodies propagate. *)
+
+val run_until : t -> Time.t -> unit
+(** Process events up to and including instant [t]; the clock finishes at
+    exactly [t] even if the queue empties earlier. *)
+
+(** {2 Operations available inside a process} *)
+
+val delay : Time.span -> unit
+(** Advance this process's time by the given span, yielding to other
+    events. *)
+
+val yield : unit -> unit
+(** Re-enqueue this process at the current instant, letting events already
+    queued for this instant run first. *)
+
+val suspend : register:(wake:(unit -> unit) -> unit) -> unit
+(** Park this process. [register] is called immediately with a [wake]
+    callback; invoking [wake] (once) re-enqueues the process at the waking
+    instant. Subsequent calls to [wake] are ignored. *)
+
+val suspendv : register:(wake:('a -> unit) -> unit) -> 'a
+(** Like {!suspend} but the waker passes a value through to the suspended
+    process. *)

@@ -1,0 +1,75 @@
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable arr : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(initial_capacity = 256) () =
+  { arr = Array.make (Stdlib.max 1 initial_capacity) None;
+    size = 0;
+    next_seq = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let arr = Array.make (2 * Array.length t.arr) None in
+  Array.blit t.arr 0 arr 0 t.size;
+  t.arr <- arr
+
+let get t i =
+  match t.arr.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let ei = get t i and ep = get t parent in
+    if entry_lt ei ep then begin
+      t.arr.(i) <- Some ep;
+      t.arr.(parent) <- Some ei;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_lt (get t l) (get t !smallest) then smallest := l;
+  if r < t.size && entry_lt (get t r) (get t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let ei = get t i and es = get t !smallest in
+    t.arr.(i) <- Some es;
+    t.arr.(!smallest) <- Some ei;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  if t.size = Array.length t.arr then grow t;
+  let e = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  t.arr.(t.size) <- Some e;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = get t 0 in
+    t.size <- t.size - 1;
+    t.arr.(0) <- t.arr.(t.size);
+    t.arr.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some (get t 0).time
+
+let clear t =
+  Array.fill t.arr 0 t.size None;
+  t.size <- 0

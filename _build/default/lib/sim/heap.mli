@@ -1,0 +1,24 @@
+(** Array-backed binary min-heap used as the simulator's event queue.
+
+    Entries are ordered by [(time, seq)]: the sequence number is assigned on
+    insertion, making the pop order of simultaneous events deterministic
+    (FIFO among equals). *)
+
+type 'a t
+
+val create : ?initial_capacity:int -> unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> 'a -> unit
+(** Insert a payload keyed by [time]. O(log n). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the entry with the smallest [(time, seq)] key,
+    as [(time, payload)]. O(log n). *)
+
+val peek_time : 'a t -> int option
+(** Time key of the next entry without removing it. *)
+
+val clear : 'a t -> unit

@@ -1,0 +1,28 @@
+(** Deterministic splittable pseudo-random number generator (SplitMix64).
+
+    Every stochastic choice in the simulator draws from one of these so that
+    a run is a pure function of its seed. [split] derives an independent
+    stream, letting each component own a generator without cross-coupling
+    the draw sequences. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+(** Derive an independent generator; the parent advances by one draw. *)
+
+val int64 : t -> int64
+val bits : t -> int
+(** 62 uniform non-negative bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw with the given mean (for arrival
+    processes in workload generators). *)

@@ -1,0 +1,69 @@
+module Ivar = struct
+  type 'a state = Empty of ('a -> unit) Queue.t | Full of 'a
+
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty (Queue.create ()) }
+
+  let fill t v =
+    match t.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+      t.state <- Full v;
+      Queue.iter (fun wake -> wake v) waiters
+
+  let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+
+  let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+  let read t =
+    match t.state with
+    | Full v -> v
+    | Empty waiters ->
+      Engine.suspendv ~register:(fun ~wake -> Queue.push wake waiters)
+end
+
+module Mailbox = struct
+  type 'a t = {
+    messages : 'a Queue.t;
+    waiters : ('a -> unit) Queue.t;
+  }
+
+  let create () = { messages = Queue.create (); waiters = Queue.create () }
+
+  let send t v =
+    match Queue.take_opt t.waiters with
+    | Some wake -> wake v
+    | None -> Queue.push v t.messages
+
+  let recv t =
+    match Queue.take_opt t.messages with
+    | Some v -> v
+    | None ->
+      Engine.suspendv ~register:(fun ~wake -> Queue.push wake t.waiters)
+
+  let try_recv t = Queue.take_opt t.messages
+  let length t = Queue.length t.messages
+end
+
+module Semaphore = struct
+  type t = {
+    mutable count : int;
+    waiters : (unit -> unit) Queue.t;
+  }
+
+  let create n =
+    if n < 0 then invalid_arg "Semaphore.create: negative count";
+    { count = n; waiters = Queue.create () }
+
+  let acquire t =
+    if t.count > 0 then t.count <- t.count - 1
+    else Engine.suspend ~register:(fun ~wake -> Queue.push wake t.waiters)
+
+  let release t =
+    match Queue.take_opt t.waiters with
+    | Some wake -> wake ()
+    | None -> t.count <- t.count + 1
+
+  let available t = t.count
+end

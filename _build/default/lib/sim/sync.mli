@@ -1,0 +1,44 @@
+(** Process-level synchronization primitives for the simulator itself.
+
+    These are building blocks for modeling components ({e not} the DSM's
+    application-facing primitives, which live in the [samhita] library and
+    carry consistency semantics). All operations that can block must be
+    called from inside a process body. *)
+
+(** Write-once cell: readers block until the value arrives. *)
+module Ivar : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val fill : 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] when filled twice. *)
+
+  val is_filled : 'a t -> bool
+  val peek : 'a t -> 'a option
+  val read : 'a t -> 'a
+  (** Blocks until filled. *)
+end
+
+(** Unbounded FIFO channel between processes. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val send : 'a t -> 'a -> unit
+  val recv : 'a t -> 'a
+  (** Blocks until a message is available. Waiting receivers are served in
+      FIFO order. *)
+
+  val try_recv : 'a t -> 'a option
+  val length : 'a t -> int
+end
+
+(** Counting semaphore with FIFO wakeup. *)
+module Semaphore : sig
+  type t
+
+  val create : int -> t
+  val acquire : t -> unit
+  val release : t -> unit
+  val available : t -> int
+end

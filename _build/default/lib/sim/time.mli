@@ -1,0 +1,42 @@
+(** Simulated time.
+
+    All simulation time is an integer number of nanoseconds since the start
+    of the simulation. Spans (durations) share the representation. 63-bit
+    integers give ~292 simulated years, far beyond any experiment here. *)
+
+type t = private int
+(** An absolute instant, in nanoseconds since simulation start. *)
+
+type span = int
+(** A duration in nanoseconds. Durations are plain ints so cost models can
+    do arithmetic without friction. *)
+
+val zero : t
+val of_ns : int -> t
+val to_ns : t -> int
+
+val add : t -> span -> t
+val diff : t -> t -> span
+(** [diff a b] is [a - b] in nanoseconds. *)
+
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val compare : t -> t -> int
+val max : t -> t -> t
+
+val ns : int -> span
+val us : int -> span
+val ms : int -> span
+val s : int -> span
+
+val span_of_float_ns : float -> span
+(** Round a float nanosecond duration to the nearest integer span, never
+    below zero. *)
+
+val to_float_s : t -> float
+val span_to_float_s : span -> float
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)
+
+val pp_span : Format.formatter -> span -> unit

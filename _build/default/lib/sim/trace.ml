@@ -1,0 +1,35 @@
+type event = { time : Time.t; tag : string; message : string }
+
+type sink = Null | Record of event list ref | Log
+
+type t = { sink : sink }
+
+let null = { sink = Null }
+let recording () = { sink = Record (ref []) }
+let logging () = { sink = Log }
+
+let enabled t = t.sink <> Null
+
+let src = Logs.Src.create "desim" ~doc:"Discrete-event simulator"
+
+module Log_ = (val Logs.src_log src : Logs.LOG)
+
+let emit t ~time ~tag message =
+  match t.sink with
+  | Null -> ()
+  | Record r -> r := { time; tag; message } :: !r
+  | Log ->
+    Log_.debug (fun m -> m "[%a] %s: %s" Time.pp time tag message)
+
+let emitf t ~time ~tag fmt =
+  Format.kasprintf (fun s -> emit t ~time ~tag s) fmt
+
+let events t =
+  match t.sink with
+  | Null | Log -> []
+  | Record r -> List.rev !r
+
+let clear t =
+  match t.sink with
+  | Null | Log -> ()
+  | Record r -> r := []

@@ -1,0 +1,28 @@
+(** Lightweight event tracing.
+
+    A trace either discards events (the default, zero-allocation fast path)
+    or records [(time, tag, message)] triples for tests and debugging. *)
+
+type t
+
+type event = { time : Time.t; tag : string; message : string }
+
+val null : t
+(** Discards everything. *)
+
+val recording : unit -> t
+(** Collects events in memory (in emission order). *)
+
+val logging : unit -> t
+(** Forwards events to the [Logs] library at debug level. *)
+
+val enabled : t -> bool
+
+val emit : t -> time:Time.t -> tag:string -> string -> unit
+val emitf :
+  t -> time:Time.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val events : t -> event list
+(** Recorded events, oldest first. Empty for [null] and [logging]. *)
+
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/smp/config.mli: Desim

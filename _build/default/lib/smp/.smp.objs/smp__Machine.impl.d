@@ -1,0 +1,1 @@
+lib/smp/machine.ml: Bytes Config Hashtbl Int64

@@ -1,0 +1,1 @@
+lib/smp/machine.mli: Config

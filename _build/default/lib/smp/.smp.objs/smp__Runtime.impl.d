@@ -1,0 +1,1 @@
+lib/smp/runtime.ml: Config Desim Int64 List Machine Printf Queue

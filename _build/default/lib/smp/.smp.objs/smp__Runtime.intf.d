@@ -1,0 +1,1 @@
+lib/smp/runtime.mli: Config Desim Machine

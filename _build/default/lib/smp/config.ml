@@ -1,0 +1,33 @@
+type t = {
+  max_threads : int;
+  coherence_line : int;
+  t_mem : float;
+  t_flop : float;
+  t_cold_miss : float;
+  t_coherence_miss : float;
+  t_invalidate : float;
+  t_lock : Desim.Time.span;
+  t_barrier_base : Desim.Time.span;
+  t_barrier_per_thread : Desim.Time.span;
+}
+
+let default =
+  { max_threads = 8;
+    coherence_line = 64;
+    t_mem = 1.2;
+    t_flop = 0.8;
+    t_cold_miss = 90.0;
+    t_coherence_miss = 60.0;
+    t_invalidate = 80.0;
+    t_lock = Desim.Time.ns 30;
+    t_barrier_base = Desim.Time.ns 200;
+    t_barrier_per_thread = Desim.Time.ns 50 }
+
+let validate t =
+  if t.max_threads < 1 then Error "max_threads must be >= 1"
+  else if t.coherence_line <= 0 || t.coherence_line land (t.coherence_line - 1) <> 0
+  then Error "coherence_line must be a power of two"
+  else if t.t_mem < 0. || t.t_flop < 0. || t.t_cold_miss < 0.
+          || t.t_coherence_miss < 0. || t.t_invalidate < 0.
+  then Error "cost rates must be non-negative"
+  else Ok ()

@@ -1,0 +1,23 @@
+(** Cost model for the simulated cache-coherent SMP node (the paper's
+    Pthreads baseline: one dual quad-core 2.8 GHz Penryn node).
+
+    Hardware coherence operates on 64-byte lines — three orders of
+    magnitude finer than Samhita's multi-page lines — which is why the
+    baseline barely notices the micro-benchmark's false sharing while the
+    DSM pays for it. *)
+
+type t = {
+  max_threads : int;  (** Cores in the node (8 on the testbed). *)
+  coherence_line : int;  (** Power of two. *)
+  t_mem : float;  (** ns per cache-hit access. *)
+  t_flop : float;
+  t_cold_miss : float;  (** ns: line fetched from DRAM. *)
+  t_coherence_miss : float;  (** ns: cache-to-cache transfer. *)
+  t_invalidate : float;  (** ns: write upgrade invalidating sharers. *)
+  t_lock : Desim.Time.span;  (** Uncontended lock or unlock. *)
+  t_barrier_base : Desim.Time.span;
+  t_barrier_per_thread : Desim.Time.span;
+}
+
+val default : t
+val validate : t -> (unit, string) result

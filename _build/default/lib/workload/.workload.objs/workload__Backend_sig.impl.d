@@ -1,0 +1,1 @@
+lib/workload/backend_sig.ml:

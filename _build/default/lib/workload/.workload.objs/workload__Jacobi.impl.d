@@ -1,0 +1,1 @@
+lib/workload/jacobi.ml: Array Backend_sig Float Kernel_util List

@@ -1,0 +1,1 @@
+lib/workload/kernel_util.ml:

@@ -1,0 +1,1 @@
+lib/workload/md.ml: Array Backend_sig Kernel_util List

@@ -1,0 +1,1 @@
+lib/workload/microbench.ml: Array Backend_sig Float Kernel_util

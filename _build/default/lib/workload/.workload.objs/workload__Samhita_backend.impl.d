@@ -1,0 +1,1 @@
+lib/workload/samhita_backend.ml: Backend_sig Desim Samhita

@@ -1,0 +1,1 @@
+lib/workload/smp_backend.ml: Backend_sig Desim Smp

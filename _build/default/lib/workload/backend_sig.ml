@@ -1,0 +1,53 @@
+(** The programming model shared by both runtimes.
+
+    The paper's benchmarks share one code base, with memory allocation,
+    synchronization and thread creation expressed as m4 macros expanded for
+    either Pthreads or Samhita (§III). The OCaml equivalent is a module
+    signature: kernels are functors over [S], instantiated with the
+    Samhita backend and the SMP ("Pthreads") backend. *)
+
+module type S = sig
+  val name : string
+
+  type system
+  type thread
+  type mutex
+  type barrier
+
+  (** {2 System lifecycle} *)
+
+  val create : threads:int -> system
+  val mutex : system -> mutex
+  val barrier : system -> parties:int -> barrier
+  val spawn : system -> (thread -> unit) -> unit
+  val run : system -> unit
+  val elapsed_ns : system -> int
+
+  (** {2 Thread operations (inside a spawned body)} *)
+
+  val thread_id : thread -> int
+  val malloc : thread -> bytes:int -> int
+  val free : thread -> addr:int -> bytes:int -> unit
+  val read_f64 : thread -> int -> float
+  val write_f64 : thread -> int -> float -> unit
+  val charge_flops : thread -> int -> unit
+
+  val charge_mem_ops : thread -> int -> unit
+  (** Account [n] private cache-hit memory accesses without going through
+      the shared-memory system (used when a kernel works on a local copy
+      of shared data; the copy itself goes through {!read_f64}). *)
+
+  val lock : thread -> mutex -> unit
+  val unlock : thread -> mutex -> unit
+  val barrier_wait : thread -> barrier -> unit
+
+  (** {2 Accounting} *)
+
+  val compute_ns : thread -> int
+  val sync_ns : thread -> int
+  val misses : thread -> int
+  (** DSM line misses; coherence misses are not per-thread on the SMP
+      baseline, which reports 0. *)
+end
+
+type backend = (module S)

@@ -1,0 +1,190 @@
+(** Jacobi iteration for the discrete Laplacian (paper §III, Figure 12).
+
+    The grid is [(n+2) x (n+2)] doubles with a fixed boundary; interior
+    rows are block-partitioned over the threads. Each sweep updates every
+    interior point from its four neighbours, accumulates a residual into a
+    mutex-protected global, and — exactly as in the paper — performs three
+    barrier synchronizations per outer iteration (sweep complete, residual
+    merged, residual reset/swap). The memory-access pattern is the
+    nearest-neighbour stencil the paper calls representative: each thread's
+    boundary rows are read by its neighbours, so block boundaries exhibit
+    modest false sharing at line granularity. *)
+
+type params = {
+  n : int;  (** Interior points per dimension. *)
+  iters : int;
+  boundary : float;
+}
+
+let default_params = { n = 256; iters = 20; boundary = 1.0 }
+
+type result = {
+  params : params;
+  threads : int;
+  wall_ns : int;
+  compute_ns : int array;
+  sync_ns : int array;
+  checksum : float;  (** Row-major sum of the full grid after [iters]. *)
+  residual : float;  (** Global residual of the final sweep. *)
+}
+
+(* Sequential reference producing the exact same floating-point results
+   (cell updates within a Jacobi sweep are order-independent, and the
+   checksum is accumulated in the same row-major order). *)
+let reference (p : params) =
+  let w = p.n + 2 in
+  let u = Array.make (w * w) 0.0 in
+  let v = Array.make (w * w) 0.0 in
+  for i = 0 to w - 1 do
+    for j = 0 to w - 1 do
+      if i = 0 || j = 0 || i = w - 1 || j = w - 1 then begin
+        u.((i * w) + j) <- p.boundary;
+        v.((i * w) + j) <- p.boundary
+      end
+    done
+  done;
+  let cur = ref u and nxt = ref v in
+  let residual = ref 0.0 in
+  for _it = 0 to p.iters - 1 do
+    residual := 0.0;
+    let c = !cur and x = !nxt in
+    for i = 1 to p.n do
+      for j = 1 to p.n do
+        let nv =
+          0.25
+          *. (c.(((i - 1) * w) + j) +. c.(((i + 1) * w) + j)
+              +. c.((i * w) + j - 1) +. c.((i * w) + j + 1))
+        in
+        x.((i * w) + j) <- nv;
+        residual := !residual +. Float.abs (nv -. c.((i * w) + j))
+      done
+    done;
+    let tmp = !cur in
+    cur := !nxt;
+    nxt := tmp
+  done;
+  let sum = ref 0.0 in
+  Array.iter (fun x -> sum := !sum +. x) !cur;
+  (!sum, !residual)
+
+(* Rows [1..n] split into contiguous blocks, remainder spread one row at a
+   time over the leading threads. *)
+let row_range ~n ~threads ~tid =
+  let per = n / threads and extra = n mod threads in
+  let lo = 1 + (tid * per) + min tid extra in
+  let hi = lo + per + (if tid < extra then 1 else 0) in
+  (lo, hi)  (* [lo, hi) *)
+
+module Make (B : Backend_sig.S) = struct
+  let run ~threads (p : params) =
+    if threads <= 0 then invalid_arg "Jacobi.run: threads";
+    if p.n < threads then invalid_arg "Jacobi.run: grid smaller than threads";
+    let sys = B.create ~threads in
+    let m = B.mutex sys in
+    let bar = B.barrier sys ~parties:threads in
+    let w = p.n + 2 in
+    let grid_bytes = w * w * 8 in
+    let u_addr = ref 0 and v_addr = ref 0 and gres_addr = ref 0 in
+    let compute = Array.make threads 0 in
+    let sync = Array.make threads 0 in
+    let checksum = ref nan and residual = ref nan in
+    let body t =
+      let tid = B.thread_id t in
+      if tid = 0 then begin
+        u_addr := B.malloc t ~bytes:grid_bytes;
+        v_addr := B.malloc t ~bytes:grid_bytes;
+        (* Lock-protected scalar on its own line (see Kernel_util). *)
+        gres_addr :=
+          B.malloc t ~bytes:(Kernel_util.isolated_size 8)
+          + Kernel_util.isolation_pad;
+        B.write_f64 t !gres_addr 0.0
+      end;
+      B.barrier_wait t bar;
+      let lo, hi = row_range ~n:p.n ~threads ~tid in
+      let cell base i j = base + (((i * w) + j) * 8) in
+      (* Initialize owned rows (first touch); thread 0 also writes the top
+         and bottom boundary rows. *)
+      let init_row base i =
+        for j = 0 to w - 1 do
+          let v =
+            if i = 0 || j = 0 || i = w - 1 || j = w - 1 then p.boundary
+            else 0.0
+          in
+          B.write_f64 t (cell base i j) v
+        done
+      in
+      List.iter
+        (fun base ->
+           for i = lo to hi - 1 do
+             init_row base i
+           done;
+           if tid = 0 then begin
+             init_row base 0;
+             init_row base (w - 1)
+           end)
+        [ !u_addr; !v_addr ];
+      B.barrier_wait t bar;
+      let cur = ref !u_addr and nxt = ref !v_addr in
+      for _it = 0 to p.iters - 1 do
+        let local = ref 0.0 in
+        for i = lo to hi - 1 do
+          for j = 1 to p.n do
+            let c = !cur in
+            let nv =
+              0.25
+              *. (B.read_f64 t (cell c (i - 1) j)
+                  +. B.read_f64 t (cell c (i + 1) j)
+                  +. B.read_f64 t (cell c i (j - 1))
+                  +. B.read_f64 t (cell c i (j + 1)))
+            in
+            B.write_f64 t (cell !nxt i j) nv;
+            local := !local +. Float.abs (nv -. B.read_f64 t (cell c i j))
+          done;
+          B.charge_flops t (6 * p.n)
+        done;
+        B.barrier_wait t bar;
+        B.lock t m;
+        B.write_f64 t !gres_addr (B.read_f64 t !gres_addr +. !local);
+        B.unlock t m;
+        B.barrier_wait t bar;
+        if tid = 0 then begin
+          (* Lock-protected data: read and reset under the mutex. *)
+          B.lock t m;
+          residual := B.read_f64 t !gres_addr;
+          B.write_f64 t !gres_addr 0.0;
+          B.unlock t m
+        end;
+        let tmp = !cur in
+        cur := !nxt;
+        nxt := tmp;
+        B.barrier_wait t bar
+      done;
+      compute.(tid) <- B.compute_ns t;
+      sync.(tid) <- B.sync_ns t;
+      if tid = 0 then begin
+        let sum = ref 0.0 in
+        for i = 0 to w - 1 do
+          for j = 0 to w - 1 do
+            sum := !sum +. B.read_f64 t (cell !cur i j)
+          done
+        done;
+        checksum := !sum
+      end
+    in
+    for _i = 1 to threads do
+      B.spawn sys body
+    done;
+    B.run sys;
+    { params = p;
+      threads;
+      wall_ns = B.elapsed_ns sys;
+      compute_ns = compute;
+      sync_ns = sync;
+      checksum = !checksum;
+      residual = !residual }
+end
+
+let run (backend : Backend_sig.backend) ~threads p =
+  let module B = (val backend) in
+  let module M = Make (B) in
+  M.run ~threads p

@@ -1,0 +1,13 @@
+(** Shared helpers for the benchmark kernels. *)
+
+(* Hot mutex-protected scalars (global sums, residuals, energies) get their
+   own DSM line: the kernels pad the allocation on both sides so no
+   ordinary-region data can share a line with them. Without this, a
+   neighbouring private write would generate barrier write notices for the
+   line and defeat the fine-grained update propagation that keeps
+   lock-protected data cached (the standard cache-line-alignment idiom,
+   scaled to DSM line sizes). The padding covers the largest line any
+   configuration uses (8 pages x 4 KiB). *)
+let isolation_pad = 32 * 1024
+
+let isolated_size bytes = (2 * isolation_pad) + bytes

@@ -1,0 +1,261 @@
+(** Molecular dynamics: velocity-Verlet n-body (paper §III, Figure 13).
+
+    Particles live in 3-D; every step computes O(n) pairwise interactions
+    per particle (a softened inverse-square attraction), so computation per
+    particle grows with n while each thread writes only its own slice of
+    the position/velocity/acceleration arrays. Kinetic and potential
+    energies accumulate under a mutex and, as in the paper, each step
+    performs three barrier synchronizations (positions published, forces +
+    energies merged, energies recorded/reset). *)
+
+type params = {
+  n : int;  (** Particle count. *)
+  steps : int;
+  dt : float;
+  softening : float;
+}
+
+let default_params = { n = 192; steps = 10; dt = 0.001; softening = 0.05 }
+
+type result = {
+  params : params;
+  threads : int;
+  wall_ns : int;
+  compute_ns : int array;
+  sync_ns : int array;
+  pos_checksum : float;
+  energies : (float * float) list;  (** (kinetic, potential) per step. *)
+}
+
+(* Deterministic initial lattice: particles on a cubic grid with a slight
+   deterministic perturbation, zero initial velocity. *)
+let initial_position ~n:_ i d =
+  let side = 8 in
+  let x = i mod side and y = i / side mod side and z = i / (side * side) in
+  let coord = [| float_of_int x; float_of_int y; float_of_int z |].(d) in
+  coord +. (0.01 *. float_of_int (((i * 31) + (d * 17)) mod 7))
+
+(* Force on particle [i]: softened gravity toward every other particle.
+   Positions come from a plain array: the parallel kernel snapshots the
+   shared position array into a private buffer once per step (the standard
+   DSM idiom — pull shared data once, then compute out of private memory),
+   so the O(n) inner loop runs on local data whose access cost is charged
+   via [charge_mem_ops]. Returns the acceleration components and this
+   particle's potential contribution (each pair counted once from the
+   lower index). *)
+let accel_of ~n ~softening (pos : float array) i =
+  let pos_at i d = Array.unsafe_get pos ((i * 3) + d) in
+  let ax = ref 0.0 and ay = ref 0.0 and az = ref 0.0 in
+  let pe = ref 0.0 in
+  let xi = pos_at i 0 and yi = pos_at i 1 and zi = pos_at i 2 in
+  for j = 0 to n - 1 do
+    if j <> i then begin
+      let dx = pos_at j 0 -. xi
+      and dy = pos_at j 1 -. yi
+      and dz = pos_at j 2 -. zi in
+      let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. softening in
+      let inv_r = 1.0 /. sqrt r2 in
+      let inv_r3 = inv_r /. r2 in
+      ax := !ax +. (dx *. inv_r3);
+      ay := !ay +. (dy *. inv_r3);
+      az := !az +. (dz *. inv_r3);
+      if j > i then pe := !pe -. inv_r
+    end
+  done;
+  ((!ax, !ay, !az), !pe)
+
+let flops_per_pair = 16
+let mem_ops_per_pair = 3
+
+(* Contiguous partition of [0, n). *)
+let slice ~n ~threads ~tid =
+  let per = n / threads and extra = n mod threads in
+  let lo = (tid * per) + min tid extra in
+  (lo, lo + per + (if tid < extra then 1 else 0))
+
+(* Sequential reference with identical arithmetic and iteration order. *)
+let reference (p : params) =
+  let pos = Array.init (p.n * 3) (fun k -> initial_position ~n:p.n (k / 3) (k mod 3)) in
+  let vel = Array.make (p.n * 3) 0.0 in
+  let acc = Array.make (p.n * 3) 0.0 in
+  let energies = ref [] in
+  for i = 0 to p.n - 1 do
+    let (ax, ay, az), _ = accel_of ~n:p.n ~softening:p.softening pos i in
+    acc.(i * 3) <- ax;
+    acc.((i * 3) + 1) <- ay;
+    acc.((i * 3) + 2) <- az
+  done;
+  for _s = 0 to p.steps - 1 do
+    for i = 0 to p.n - 1 do
+      for d = 0 to 2 do
+        let k = (i * 3) + d in
+        pos.(k) <- pos.(k) +. (vel.(k) *. p.dt)
+                   +. (0.5 *. acc.(k) *. p.dt *. p.dt)
+      done
+    done;
+    let ke = ref 0.0 and pe = ref 0.0 in
+    for i = 0 to p.n - 1 do
+      let (ax, ay, az), pei =
+        accel_of ~n:p.n ~softening:p.softening pos i
+      in
+      let upd d nv =
+        let k = (i * 3) + d in
+        let old_a = acc.(k) in
+        acc.(k) <- nv;
+        vel.(k) <- vel.(k) +. (0.5 *. (old_a +. nv) *. p.dt);
+        ke := !ke +. (0.5 *. vel.(k) *. vel.(k))
+      in
+      upd 0 ax;
+      upd 1 ay;
+      upd 2 az;
+      pe := !pe +. pei
+    done;
+    energies := (!ke, !pe) :: !energies
+  done;
+  let sum = ref 0.0 in
+  Array.iter (fun x -> sum := !sum +. x) pos;
+  (!sum, List.rev !energies)
+
+module Make (B : Backend_sig.S) = struct
+  let run ~threads (p : params) =
+    if threads <= 0 then invalid_arg "Md.run: threads";
+    if p.n < threads then invalid_arg "Md.run: fewer particles than threads";
+    let sys = B.create ~threads in
+    let m = B.mutex sys in
+    let bar = B.barrier sys ~parties:threads in
+    let abytes = p.n * 3 * 8 in
+    let pos_a = ref 0 and vel_a = ref 0 and acc_a = ref 0 and en_a = ref 0 in
+    let compute = Array.make threads 0 in
+    let sync = Array.make threads 0 in
+    let pos_checksum = ref nan in
+    let energies = ref [] in
+    let body t =
+      let tid = B.thread_id t in
+      if tid = 0 then begin
+        pos_a := B.malloc t ~bytes:abytes;
+        vel_a := B.malloc t ~bytes:abytes;
+        acc_a := B.malloc t ~bytes:abytes;
+        (* Lock-protected energy pair on its own line (see Kernel_util). *)
+        en_a :=
+          B.malloc t ~bytes:(Kernel_util.isolated_size 16)
+          + Kernel_util.isolation_pad;
+        B.write_f64 t !en_a 0.0;
+        B.write_f64 t (!en_a + 8) 0.0
+      end;
+      B.barrier_wait t bar;
+      let lo, hi = slice ~n:p.n ~threads ~tid in
+      let idx base i d = base + (((i * 3) + d) * 8) in
+      for i = lo to hi - 1 do
+        for d = 0 to 2 do
+          B.write_f64 t (idx !pos_a i d) (initial_position ~n:p.n i d);
+          B.write_f64 t (idx !vel_a i d) 0.0;
+          B.write_f64 t (idx !acc_a i d) 0.0
+        done
+      done;
+      B.barrier_wait t bar;
+      (* Snapshot of the shared position array, refreshed once per force
+         phase: the copy goes through the DSM; the O(n^2) pair loop then
+         runs on private memory (cost charged per pair below). *)
+      let local_pos = Array.make (p.n * 3) 0.0 in
+      let refresh_positions () =
+        for k = 0 to (p.n * 3) - 1 do
+          local_pos.(k) <- B.read_f64 t (!pos_a + (k * 8))
+        done
+      in
+      let charge_pairs () =
+        B.charge_flops t ((p.n - 1) * flops_per_pair);
+        B.charge_mem_ops t ((p.n - 1) * mem_ops_per_pair)
+      in
+      (* Initial accelerations. *)
+      refresh_positions ();
+      for i = lo to hi - 1 do
+        let (ax, ay, az), _ =
+          accel_of ~n:p.n ~softening:p.softening local_pos i
+        in
+        charge_pairs ();
+        B.write_f64 t (idx !acc_a i 0) ax;
+        B.write_f64 t (idx !acc_a i 1) ay;
+        B.write_f64 t (idx !acc_a i 2) az
+      done;
+      B.barrier_wait t bar;
+      for _s = 0 to p.steps - 1 do
+        (* Phase A: advance own positions. *)
+        for i = lo to hi - 1 do
+          for d = 0 to 2 do
+            let k = idx !pos_a i d in
+            let v = B.read_f64 t (idx !vel_a i d) in
+            let a = B.read_f64 t (idx !acc_a i d) in
+            B.write_f64 t k
+              (B.read_f64 t k +. (v *. p.dt) +. (0.5 *. a *. p.dt *. p.dt))
+          done;
+          B.charge_flops t 18
+        done;
+        B.barrier_wait t bar;
+        (* Phase B: forces from the published positions; velocity update
+           and local energy accumulation. *)
+        let ke = ref 0.0 and pe = ref 0.0 in
+        refresh_positions ();
+        for i = lo to hi - 1 do
+          let (ax, ay, az), pei =
+            accel_of ~n:p.n ~softening:p.softening local_pos i
+          in
+          charge_pairs ();
+          let upd d nv =
+            let ka = idx !acc_a i d and kv = idx !vel_a i d in
+            let old_a = B.read_f64 t ka in
+            B.write_f64 t ka nv;
+            let v = B.read_f64 t kv +. (0.5 *. (old_a +. nv) *. p.dt) in
+            B.write_f64 t kv v;
+            ke := !ke +. (0.5 *. v *. v)
+          in
+          upd 0 ax;
+          upd 1 ay;
+          upd 2 az;
+          B.charge_flops t 21;
+          pe := !pe +. pei
+        done;
+        B.lock t m;
+        B.write_f64 t !en_a (B.read_f64 t !en_a +. !ke);
+        B.write_f64 t (!en_a + 8) (B.read_f64 t (!en_a + 8) +. !pe);
+        B.unlock t m;
+        B.barrier_wait t bar;
+        if tid = 0 then begin
+          (* Lock-protected data: read and reset under the mutex. *)
+          B.lock t m;
+          energies :=
+            (B.read_f64 t !en_a, B.read_f64 t (!en_a + 8)) :: !energies;
+          B.write_f64 t !en_a 0.0;
+          B.write_f64 t (!en_a + 8) 0.0;
+          B.unlock t m
+        end;
+        B.barrier_wait t bar
+      done;
+      compute.(tid) <- B.compute_ns t;
+      sync.(tid) <- B.sync_ns t;
+      if tid = 0 then begin
+        let sum = ref 0.0 in
+        for i = 0 to p.n - 1 do
+          for d = 0 to 2 do
+            sum := !sum +. B.read_f64 t (idx !pos_a i d)
+          done
+        done;
+        pos_checksum := !sum
+      end
+    in
+    for _i = 1 to threads do
+      B.spawn sys body
+    done;
+    B.run sys;
+    { params = p;
+      threads;
+      wall_ns = B.elapsed_ns sys;
+      compute_ns = compute;
+      sync_ns = sync;
+      pos_checksum = !pos_checksum;
+      energies = List.rev !energies }
+end
+
+let run (backend : Backend_sig.backend) ~threads p =
+  let module B = (val backend) in
+  let module M = Make (B) in
+  M.run ~threads p

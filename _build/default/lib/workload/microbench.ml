@@ -1,0 +1,191 @@
+(** The paper's micro-benchmark (Figure 2).
+
+    Per compute thread: [s_rows] rows of [b_cols] doubles. The inner
+    compute loop runs [m_inner] times over the thread's data, doing two
+    floating-point operations per element; each outer iteration ends with a
+    mutex-protected global-sum update and a barrier. Memory comes from one
+    of the three allocation/access strategies of §III:
+
+    - [Local]: each thread allocates its own rows (arena allocation — no
+      false sharing by construction);
+    - [Global]: one thread makes a single large allocation, threads use
+      contiguous blocks of it (false sharing at block boundaries);
+    - [Global_strided]: same allocation, rows interleaved round-robin
+      across threads (maximal false sharing).
+
+    Compute and synchronization time are measured from outer iteration
+    [warmup] onward, i.e. in the steady state: the paper's compute-time
+    figures reflect warm caches (cold, first-touch misses would otherwise
+    dominate the smallest configurations). *)
+
+type alloc_mode = Local | Global | Global_strided
+
+let mode_name = function
+  | Local -> "local"
+  | Global -> "global"
+  | Global_strided -> "strided"
+
+type params = {
+  n_outer : int;
+  m_inner : int;
+  s_rows : int;
+  b_cols : int;
+  alloc : alloc_mode;
+  warmup : int;  (** Outer iterations excluded from measurement. *)
+  decay : float;  (** The constant [r] of the kernel. *)
+}
+
+let default_params =
+  { n_outer = 10;
+    m_inner = 10;
+    s_rows = 2;
+    b_cols = 256;
+    alloc = Local;
+    warmup = 1;
+    decay = 0.999 }
+
+type result = {
+  params : params;
+  threads : int;
+  wall_ns : int;
+  compute_ns : int array;  (** Per thread, measured window only. *)
+  sync_ns : int array;
+  misses : int array;  (** Total misses per thread (whole run). *)
+  gsum : float;
+  expected_gsum : float;
+}
+
+(* Sequential emulation of the kernel arithmetic: every thread performs the
+   identical element operations on identically-initialized data, so the
+   per-outer-iteration partial sum is one number; the global sum adds it
+   once per thread per outer iteration, in an order that cannot affect the
+   result (all addends within an iteration are equal). *)
+let expected_gsum (p : params) ~threads =
+  let a = Array.make (p.s_rows * p.b_cols) 1.0 in
+  let g = ref 0.0 in
+  for _i = 0 to p.n_outer - 1 do
+    let sum = ref 0.0 in
+    for _j = 0 to p.m_inner - 1 do
+      for k = 0 to p.s_rows - 1 do
+        let rsum = ref 0.0 in
+        for l = 0 to p.b_cols - 1 do
+          let idx = (k * p.b_cols) + l in
+          a.(idx) <- p.decay *. a.(idx);
+          rsum := !rsum +. a.(idx)
+        done;
+        sum := !sum +. (Float.pi *. !rsum)
+      done
+    done;
+    for _t = 0 to threads - 1 do
+      g := !g +. !sum
+    done
+  done;
+  !g
+
+module Make (B : Backend_sig.S) = struct
+  let run ~threads (p : params) =
+    if threads <= 0 then invalid_arg "Microbench.run: threads";
+    if p.warmup >= p.n_outer then
+      invalid_arg "Microbench.run: warmup must be < n_outer";
+    let sys = B.create ~threads in
+    let m = B.mutex sys in
+    let bar = B.barrier sys ~parties:threads in
+    let row_bytes = p.b_cols * 8 in
+    let block_bytes = p.s_rows * row_bytes in
+    let gsum_addr = ref 0 in
+    let base_addr = ref 0 in
+    let compute = Array.make threads 0 in
+    let sync = Array.make threads 0 in
+    let misses = Array.make threads 0 in
+    let gsum_out = ref nan in
+    let body t =
+      let tid = B.thread_id t in
+      if tid = 0 then begin
+        (* Lock-protected scalar on its own line (see Kernel_util). *)
+        gsum_addr :=
+          B.malloc t ~bytes:(Kernel_util.isolated_size 8)
+          + Kernel_util.isolation_pad;
+        B.write_f64 t !gsum_addr 0.0;
+        if p.alloc <> Local then
+          base_addr := B.malloc t ~bytes:(threads * block_bytes)
+      end;
+      B.barrier_wait t bar;
+      let my_base =
+        match p.alloc with
+        | Local -> B.malloc t ~bytes:block_bytes
+        | Global -> !base_addr + (tid * block_bytes)
+        | Global_strided -> !base_addr
+      in
+      let row_addr k =
+        match p.alloc with
+        | Local | Global -> my_base + (k * row_bytes)
+        | Global_strided -> my_base + (((k * threads) + tid) * row_bytes)
+      in
+      (* First-touch initialization of this thread's rows. *)
+      for k = 0 to p.s_rows - 1 do
+        let base = row_addr k in
+        for l = 0 to p.b_cols - 1 do
+          B.write_f64 t (base + (l * 8)) 1.0
+        done
+      done;
+      B.barrier_wait t bar;
+      let c0 = ref 0 and s0 = ref 0 in
+      for i = 0 to p.n_outer - 1 do
+        if i = p.warmup then begin
+          c0 := B.compute_ns t;
+          s0 := B.sync_ns t
+        end;
+        let sum = ref 0.0 in
+        for _j = 0 to p.m_inner - 1 do
+          for k = 0 to p.s_rows - 1 do
+            let base = row_addr k in
+            let rsum = ref 0.0 in
+            for l = 0 to p.b_cols - 1 do
+              let addr = base + (l * 8) in
+              let v = p.decay *. B.read_f64 t addr in
+              B.write_f64 t addr v;
+              rsum := !rsum +. v
+            done;
+            B.charge_flops t (2 * p.b_cols);
+            sum := !sum +. (Float.pi *. !rsum);
+            B.charge_flops t 2
+          done
+        done;
+        B.lock t m;
+        B.write_f64 t !gsum_addr (B.read_f64 t !gsum_addr +. !sum);
+        B.unlock t m;
+        B.barrier_wait t bar
+      done;
+      compute.(tid) <- B.compute_ns t - !c0;
+      sync.(tid) <- B.sync_ns t - !s0;
+      misses.(tid) <- B.misses t;
+      (* gsum is lock-protected data: under RegC (as under Pthreads) it must
+         be read under its mutex. *)
+      if tid = 0 then begin
+        B.lock t m;
+        gsum_out := B.read_f64 t !gsum_addr;
+        B.unlock t m
+      end
+    in
+    for _i = 1 to threads do
+      B.spawn sys body
+    done;
+    B.run sys;
+    { params = p;
+      threads;
+      wall_ns = B.elapsed_ns sys;
+      compute_ns = compute;
+      sync_ns = sync;
+      misses;
+      gsum = !gsum_out;
+      expected_gsum = expected_gsum p ~threads }
+end
+
+let run (backend : Backend_sig.backend) ~threads p =
+  let module B = (val backend) in
+  let module M = Make (B) in
+  M.run ~threads p
+
+let mean a =
+  Array.fold_left (fun acc x -> acc +. float_of_int x) 0. a
+  /. float_of_int (Array.length a)

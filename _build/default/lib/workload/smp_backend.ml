@@ -1,0 +1,39 @@
+(** {!Backend_sig.S} over the simulated cache-coherent node — the paper's
+    Pthreads baseline. *)
+
+let make ?(config = Smp.Config.default) () : Backend_sig.backend =
+  (module struct
+    let name = "pthreads"
+
+    type system = Smp.Runtime.system
+    type thread = Smp.Runtime.thread
+    type mutex = Smp.Runtime.mutex
+    type barrier = Smp.Runtime.barrier
+
+    let create ~threads = Smp.Runtime.create ~config ~threads ()
+    let mutex = Smp.Runtime.mutex
+    let barrier sys ~parties = Smp.Runtime.barrier sys ~parties
+
+    let spawn sys body =
+      ignore (Smp.Runtime.spawn sys body : Smp.Runtime.thread)
+
+    let run = Smp.Runtime.run
+    let elapsed_ns sys = Desim.Time.to_ns (Smp.Runtime.elapsed sys)
+    let thread_id = Smp.Runtime.thread_id
+    let malloc t ~bytes = Smp.Runtime.malloc t ~bytes
+    let free _t ~addr:_ ~bytes:_ = ()
+    let read_f64 = Smp.Runtime.read_f64
+    let write_f64 = Smp.Runtime.write_f64
+    let charge_flops = Smp.Runtime.charge_flops
+
+    let charge_mem_ops t n =
+      Smp.Runtime.charge t (float_of_int n *. config.Smp.Config.t_mem)
+    let lock = Smp.Runtime.lock
+    let unlock = Smp.Runtime.unlock
+    let barrier_wait = Smp.Runtime.barrier_wait
+    let compute_ns = Smp.Runtime.compute_ns
+    let sync_ns = Smp.Runtime.sync_ns
+    let misses _ = 0
+  end)
+
+let default : Backend_sig.backend = make ()

@@ -1,0 +1,1 @@
+test/test_accessors.ml: Alcotest Array Bytes Char Format Harness Hashtbl Int64 Printf QCheck QCheck_alcotest Samhita String

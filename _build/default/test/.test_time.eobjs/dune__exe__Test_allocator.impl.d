@@ -1,0 +1,1 @@
+test/test_allocator.ml: Alcotest Gen List QCheck QCheck_alcotest Samhita

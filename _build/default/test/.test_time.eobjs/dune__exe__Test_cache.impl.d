@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Bytes Gen Hashtbl List QCheck QCheck_alcotest Samhita

@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Bytes Char Gen List QCheck QCheck_alcotest Samhita

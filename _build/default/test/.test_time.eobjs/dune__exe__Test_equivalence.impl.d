@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Samhita Workload

@@ -1,0 +1,1 @@
+test/test_fabric.ml: Alcotest Desim Fabric QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float Format Harness Lazy List Printf String

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest QCheck QCheck_alcotest Samhita

@@ -1,0 +1,1 @@
+test/test_manager.ml: Alcotest Desim Fabric Int64 List Samhita

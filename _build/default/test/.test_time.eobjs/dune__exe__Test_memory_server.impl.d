@@ -1,0 +1,1 @@
+test/test_memory_server.ml: Alcotest Bytes Desim Fabric List Samhita

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Array Bytes Fun List Printf QCheck QCheck_alcotest Samhita Smp String

@@ -1,0 +1,1 @@
+test/test_sc.ml: Alcotest List Printf Samhita Workload

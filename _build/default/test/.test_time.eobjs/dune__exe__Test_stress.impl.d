@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Desim Fabric Gen List Printf QCheck QCheck_alcotest Samhita

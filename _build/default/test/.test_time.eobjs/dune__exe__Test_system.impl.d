@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Fabric Format List Samhita String Workload

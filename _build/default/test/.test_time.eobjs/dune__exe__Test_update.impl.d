@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Bytes Char List QCheck QCheck_alcotest Samhita

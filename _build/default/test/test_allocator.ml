@@ -1,0 +1,108 @@
+(* Tests for the per-thread arena allocator. *)
+
+module A = Samhita.Allocator.Arena
+
+let test_round_size () =
+  Alcotest.(check int) "1 -> 8" 8 (Samhita.Allocator.round_size 1);
+  Alcotest.(check int) "8 -> 8" 8 (Samhita.Allocator.round_size 8);
+  Alcotest.(check int) "9 -> 16" 16 (Samhita.Allocator.round_size 9);
+  Alcotest.check_raises "zero"
+    (Invalid_argument "Allocator.round_size: bytes must be > 0") (fun () ->
+      ignore (Samhita.Allocator.round_size 0))
+
+let test_needs_chunk_initially () =
+  let a = A.create () in
+  Alcotest.(check bool) "no chunk yet" true (A.alloc a ~bytes:8 = `Need_chunk)
+
+let test_bump_allocation () =
+  let a = A.create () in
+  A.add_chunk a ~base:1000 ~size:64;
+  Alcotest.(check bool) "first" true (A.alloc a ~bytes:8 = `Hit 1000);
+  Alcotest.(check bool) "second" true (A.alloc a ~bytes:10 = `Hit 1008);
+  (* 10 rounds to 16, so next is at 1024. *)
+  Alcotest.(check bool) "third" true (A.alloc a ~bytes:8 = `Hit 1024);
+  Alcotest.(check int) "allocated bytes" 32 (A.allocated_bytes a)
+
+let test_chunk_exhaustion () =
+  let a = A.create () in
+  A.add_chunk a ~base:0 ~size:16;
+  Alcotest.(check bool) "fits" true (A.alloc a ~bytes:16 = `Hit 0);
+  Alcotest.(check bool) "exhausted" true (A.alloc a ~bytes:8 = `Need_chunk);
+  A.add_chunk a ~base:100 ~size:16;
+  Alcotest.(check bool) "new chunk" true (A.alloc a ~bytes:8 = `Hit 100)
+
+let test_free_reuse () =
+  let a = A.create () in
+  A.add_chunk a ~base:0 ~size:64;
+  let addr = match A.alloc a ~bytes:24 with `Hit x -> x | _ -> -1 in
+  A.free a ~addr ~bytes:24;
+  Alcotest.(check int) "free list holds it" 1 (A.free_list_blocks a);
+  Alcotest.(check bool) "exact-size reuse" true (A.alloc a ~bytes:24 = `Hit addr);
+  Alcotest.(check int) "free list drained" 0 (A.free_list_blocks a);
+  (* A different size does not reuse the freed block. *)
+  A.free a ~addr ~bytes:24;
+  (match A.alloc a ~bytes:8 with
+   | `Hit x -> Alcotest.(check bool) "different size bumps" true (x <> addr)
+   | `Need_chunk -> Alcotest.fail "expected bump hit")
+
+let test_wasted_accounting () =
+  let a = A.create () in
+  A.add_chunk a ~base:0 ~size:64;
+  ignore (A.alloc a ~bytes:8);
+  A.add_chunk a ~base:100 ~size:64;
+  Alcotest.(check int) "abandoned remainder" 56 (A.wasted_bytes a)
+
+let prop_no_overlap =
+  QCheck.Test.make ~name:"live arena blocks never overlap" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (int_range 1 64))
+    (fun sizes ->
+       let a = A.create () in
+       let next_base = ref 0 in
+       let live = ref [] in
+       let ok = ref true in
+       List.iter
+         (fun bytes ->
+            let rec go () =
+              match A.alloc a ~bytes with
+              | `Hit addr ->
+                let size = Samhita.Allocator.round_size bytes in
+                List.iter
+                  (fun (b, s) ->
+                     if addr < b + s && b < addr + size then ok := false)
+                  !live;
+                live := (addr, size) :: !live
+              | `Need_chunk ->
+                A.add_chunk a ~base:!next_base ~size:4096;
+                next_base := !next_base + 4096;
+                go ()
+            in
+            go ())
+         sizes;
+       !ok)
+
+let prop_free_then_alloc_same_size_reuses =
+  QCheck.Test.make ~name:"freed blocks are reused LIFO per size class"
+    ~count:100
+    QCheck.(int_range 1 128)
+    (fun bytes ->
+       let a = A.create () in
+       A.add_chunk a ~base:0 ~size:8192;
+       match A.alloc a ~bytes with
+       | `Need_chunk -> false
+       | `Hit a1 -> (
+           A.free a ~addr:a1 ~bytes;
+           match A.alloc a ~bytes with
+           | `Hit a2 -> a1 = a2
+           | `Need_chunk -> false))
+
+let tests =
+  [ Alcotest.test_case "round size" `Quick test_round_size;
+    Alcotest.test_case "needs chunk" `Quick test_needs_chunk_initially;
+    Alcotest.test_case "bump allocation" `Quick test_bump_allocation;
+    Alcotest.test_case "chunk exhaustion" `Quick test_chunk_exhaustion;
+    Alcotest.test_case "free/reuse" `Quick test_free_reuse;
+    Alcotest.test_case "waste accounting" `Quick test_wasted_accounting;
+    QCheck_alcotest.to_alcotest prop_no_overlap;
+    QCheck_alcotest.to_alcotest prop_free_then_alloc_same_size_reuses ]
+
+let () = Alcotest.run "samhita.allocator" [ ("arena", tests) ]

@@ -1,0 +1,174 @@
+(* Randomized equivalence testing: generated data-race-free programs must
+   produce identical memory contents on the Samhita DSM and on the SMP
+   baseline (whose strong coherence makes it an oracle).
+
+   Program model: [vars] 8-byte shared variables at randomized offsets
+   inside one shared allocation (so variables land in arbitrary positions
+   within pages and lines, exercising false sharing and diff merging).
+   Execution proceeds in [rounds]; in each round every variable is owned
+   by one thread (a seeded random assignment), the owner writes a value
+   derived from (round, var), and a barrier separates rounds, after which
+   every thread reads every variable. Additionally each thread performs a
+   random number of lock-protected increments of a shared accumulator per
+   round (exercising the fine-grained update path). Data-race freedom by
+   construction; any divergence from the oracle is a protocol bug. *)
+
+module T = Samhita.Thread_ctx
+
+type program = {
+  threads : int;
+  vars : int;
+  rounds : int;
+  offsets : int array;  (* var -> byte offset, 8-aligned, unique *)
+  owner : int array array;  (* round -> var -> thread *)
+  increments : int array array;  (* round -> thread -> count *)
+}
+
+let gen_program rng =
+  let int_range lo hi = QCheck.Gen.int_range lo hi rng in
+  let threads = int_range 2 6 in
+  let vars = int_range 1 24 in
+  let rounds = int_range 1 5 in
+  (* Unique 8-aligned offsets within a 3-line region. *)
+  let region = 3 * Samhita.Config.line_bytes Samhita.Config.default in
+  let slots = region / 8 in
+  let chosen = Hashtbl.create 16 in
+  let offsets =
+    Array.init vars (fun _ ->
+        let rec draw () =
+          let s = int_range 0 (slots - 1) in
+          if Hashtbl.mem chosen s then draw ()
+          else begin
+            Hashtbl.replace chosen s ();
+            s * 8
+          end
+        in
+        draw ())
+  in
+  let owner =
+    Array.init rounds (fun _ ->
+        Array.init vars (fun _ -> int_range 0 (threads - 1)))
+  in
+  let increments =
+    Array.init rounds (fun _ ->
+        Array.init threads (fun _ -> int_range 0 3))
+  in
+  { threads; vars; rounds; offsets; owner; increments }
+
+let arbitrary_program =
+  QCheck.make ~print:(fun p ->
+      Printf.sprintf "{threads=%d; vars=%d; rounds=%d}" p.threads p.vars
+        p.rounds)
+    gen_program
+
+let value_of ~round ~var = float_of_int ((round * 1000) + var + 1)
+
+(* Run the program on one backend; returns (per-round read logs, final
+   accumulator). The read log records every variable as seen by thread 0
+   after each barrier. *)
+let run_on (backend : Workload.Backend_sig.backend) (p : program) =
+  let module B = (val backend) in
+  let sys = B.create ~threads:p.threads in
+  let m = B.mutex sys in
+  let bar = B.barrier sys ~parties:p.threads in
+  let base = ref 0 and acc_addr = ref 0 in
+  let region = 3 * Samhita.Config.line_bytes Samhita.Config.default in
+  let logs = Array.make_matrix p.rounds p.vars nan in
+  let final_acc = ref nan in
+  let body t =
+    let tid = B.thread_id t in
+    if tid = 0 then begin
+      base := B.malloc t ~bytes:region;
+      acc_addr := B.malloc t ~bytes:(2 * 65536) + 65536;
+      B.write_f64 t !acc_addr 0.0
+    end;
+    B.barrier_wait t bar;
+    for r = 0 to p.rounds - 1 do
+      Array.iteri
+        (fun v off ->
+           if p.owner.(r).(v) = tid then
+             B.write_f64 t (!base + off) (value_of ~round:r ~var:v))
+        p.offsets;
+      for _ = 1 to p.increments.(r).(tid) do
+        B.lock t m;
+        B.write_f64 t !acc_addr (B.read_f64 t !acc_addr +. 1.0);
+        B.unlock t m
+      done;
+      B.barrier_wait t bar;
+      if tid = 0 then
+        Array.iteri
+          (fun v off -> logs.(r).(v) <- B.read_f64 t (!base + off))
+          p.offsets;
+      B.barrier_wait t bar
+    done;
+    if tid = 0 then begin
+      B.lock t m;
+      final_acc := B.read_f64 t !acc_addr;
+      B.unlock t m
+    end
+  in
+  for _ = 1 to p.threads do
+    B.spawn sys body
+  done;
+  B.run sys;
+  (logs, !final_acc)
+
+let expected_logs (p : program) =
+  let logs = Array.make_matrix p.rounds p.vars nan in
+  let current = Array.make p.vars 0.0 in
+  for r = 0 to p.rounds - 1 do
+    for v = 0 to p.vars - 1 do
+      current.(v) <- value_of ~round:r ~var:v;
+      logs.(r).(v) <- current.(v)
+    done
+  done;
+  logs
+
+let expected_acc (p : program) =
+  float_of_int
+    (Array.fold_left
+       (fun acc row -> Array.fold_left ( + ) acc row)
+       0 p.increments)
+
+let check_backend backend p =
+  let logs, acc = run_on backend p in
+  logs = expected_logs p && acc = expected_acc p
+
+let prop_samhita_matches_spec =
+  QCheck.Test.make ~name:"random DRF programs: Samhita matches the spec"
+    ~count:40 arbitrary_program
+    (fun p -> check_backend Workload.Samhita_backend.default p)
+
+let prop_smp_matches_spec =
+  QCheck.Test.make ~name:"random DRF programs: SMP baseline matches the spec"
+    ~count:40 arbitrary_program
+    (fun p -> check_backend Workload.Smp_backend.default p)
+
+let prop_samhita_stress_configs =
+  (* The same programs under hostile configurations: tiny cache, one-page
+     lines, several memory servers, no update history. *)
+  let configs =
+    [ ("tiny-cache", { Samhita.Config.default with cache_lines = 2 });
+      ("one-page-lines", { Samhita.Config.default with pages_per_line = 1 });
+      ("three-servers", { Samhita.Config.default with memory_servers = 3 });
+      ("no-history", { Samhita.Config.default with update_log_history = 0 });
+      ("no-prefetch", { Samhita.Config.default with prefetch = false });
+      ( "sc-invalidate",
+        { Samhita.Config.default with
+          model = Samhita.Config.Sc_invalidate } ) ]
+  in
+  QCheck.Test.make
+    ~name:"random DRF programs under hostile configurations" ~count:15
+    arbitrary_program
+    (fun p ->
+       List.for_all
+         (fun (_name, config) ->
+            check_backend (Workload.Samhita_backend.make ~config ()) p)
+         configs)
+
+let tests =
+  [ QCheck_alcotest.to_alcotest prop_samhita_matches_spec;
+    QCheck_alcotest.to_alcotest prop_smp_matches_spec;
+    QCheck_alcotest.to_alcotest prop_samhita_stress_configs ]
+
+let () = Alcotest.run "equivalence" [ ("random-programs", tests) ]

@@ -1,0 +1,119 @@
+(* Unit and property tests for the event-queue heap. *)
+
+let drain h =
+  let rec go acc =
+    match Desim.Heap.pop h with
+    | Some (t, v) -> go ((t, v) :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_empty () =
+  let h = Desim.Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Desim.Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Desim.Heap.length h);
+  Alcotest.(check bool) "pop none" true (Desim.Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Desim.Heap.peek_time h = None)
+
+let test_ordering () =
+  let h = Desim.Heap.create () in
+  List.iter (fun t -> Desim.Heap.push h ~time:t t) [ 5; 1; 4; 2; 3 ];
+  Alcotest.(check (list (pair int int)))
+    "sorted"
+    [ (1, 1); (2, 2); (3, 3); (4, 4); (5, 5) ]
+    (drain h)
+
+let test_fifo_ties () =
+  let h = Desim.Heap.create () in
+  List.iteri (fun i v -> Desim.Heap.push h ~time:(i mod 2) v) [ 10; 20; 30; 40; 50 ];
+  (* time 0: 10,30,50 in insertion order; time 1: 20,40 *)
+  Alcotest.(check (list (pair int int)))
+    "fifo among equals"
+    [ (0, 10); (0, 30); (0, 50); (1, 20); (1, 40) ]
+    (drain h)
+
+let test_peek () =
+  let h = Desim.Heap.create () in
+  Desim.Heap.push h ~time:9 'a';
+  Desim.Heap.push h ~time:3 'b';
+  Alcotest.(check (option int)) "peek" (Some 3) (Desim.Heap.peek_time h);
+  Alcotest.(check int) "length unchanged" 2 (Desim.Heap.length h)
+
+let test_growth () =
+  let h = Desim.Heap.create ~initial_capacity:1 () in
+  for i = 999 downto 0 do
+    Desim.Heap.push h ~time:i i
+  done;
+  Alcotest.(check int) "length" 1000 (Desim.Heap.length h);
+  let order = List.map fst (drain h) in
+  Alcotest.(check (list int)) "all sorted" (List.init 1000 Fun.id) order
+
+let test_clear () =
+  let h = Desim.Heap.create () in
+  Desim.Heap.push h ~time:1 ();
+  Desim.Heap.push h ~time:2 ();
+  Desim.Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Desim.Heap.is_empty h);
+  Desim.Heap.push h ~time:5 ();
+  Alcotest.(check (option int)) "usable after clear" (Some 5)
+    (Desim.Heap.peek_time h)
+
+let prop_sorted =
+  QCheck.Test.make ~name:"pop order is sorted and stable" ~count:300
+    QCheck.(list (int_bound 50))
+    (fun times ->
+       let h = Desim.Heap.create () in
+       List.iteri (fun i t -> Desim.Heap.push h ~time:t (t, i)) times;
+       let out = List.map snd (drain h) in
+       (* Sorted by time, and among equal times by insertion index. *)
+       let rec ok = function
+         | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+           (t1 < t2 || (t1 = t2 && i1 < i2)) && ok rest
+         | _ -> true
+       in
+       List.length out = List.length times && ok out)
+
+let prop_interleaved =
+  QCheck.Test.make ~name:"interleaved push/pop preserves min order"
+    ~count:200
+    QCheck.(list (pair (int_bound 100) bool))
+    (fun ops ->
+       let h = Desim.Heap.create () in
+       let model = ref [] in
+       let ok = ref true in
+       List.iter
+         (fun (t, is_pop) ->
+            if is_pop then begin
+              match (Desim.Heap.pop h, !model) with
+              | None, [] -> ()
+              | Some (ht, _), m ->
+                let mn = List.fold_left min max_int m in
+                if ht <> mn then ok := false
+                else begin
+                  (* remove one instance of mn *)
+                  let rec rm = function
+                    | [] -> []
+                    | x :: r -> if x = mn then r else x :: rm r
+                  in
+                  model := rm m
+                end
+              | None, _ :: _ -> ok := false
+            end
+            else begin
+              Desim.Heap.push h ~time:t ();
+              model := t :: !model
+            end)
+         ops;
+       !ok)
+
+let tests =
+  [ Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+    Alcotest.test_case "peek" `Quick test_peek;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_sorted;
+    QCheck_alcotest.to_alcotest prop_interleaved ]
+
+let () = Alcotest.run "desim.heap" [ ("heap", tests) ]

@@ -1,0 +1,219 @@
+(* Tests for the sequential-consistency (Sc_invalidate) comparison mode:
+   an IVY-style single-writer, write-invalidate DSM sharing the rest of
+   the runtime with RegC. *)
+
+module T = Samhita.Thread_ctx
+
+let sc_cfg = { Samhita.Config.default with model = Samhita.Config.Sc_invalidate }
+let line_bytes = Samhita.Config.line_bytes sc_cfg
+
+let run_threads ?(config = sc_cfg) ~threads body =
+  let sys = Samhita.System.create ~config ~threads () in
+  for tid = 0 to threads - 1 do
+    ignore (Samhita.System.spawn sys (fun t -> body sys tid t) : T.t)
+  done;
+  Samhita.System.run sys;
+  sys
+
+let test_read_own_write () =
+  ignore
+    (run_threads ~threads:1 (fun _ _ t ->
+         let a = T.malloc t ~bytes:64 in
+         T.write_f64 t a 9.5;
+         Alcotest.(check (float 0.)) "rw" 9.5 (T.read_f64 t a)))
+
+let test_exclusive_ownership_tracked () =
+  let owner_after = ref None in
+  let sys =
+    run_threads ~threads:1 (fun sys _ t ->
+        let a = T.malloc t ~bytes:64 in
+        T.write_f64 t a 1.0;
+        let layout = Samhita.System.layout sys in
+        let line = Samhita.Layout.line_of_addr layout a in
+        owner_after :=
+          Samhita.Coherence_sc.owner
+            (Samhita.Thread_ctx.env t).Samhita.Thread_ctx.sc ~line)
+  in
+  ignore sys;
+  Alcotest.(check (option int)) "writer owns the line" (Some 0) !owner_after
+
+let test_ping_pong_values () =
+  (* Two threads alternately increment the same cell, separated by
+     barriers: ownership migrates back and forth and no increment is
+     lost. *)
+  let threads = 2 in
+  let rounds = 6 in
+  let a = ref 0 in
+  let final = ref nan in
+  let sys = Samhita.System.create ~config:sc_cfg ~threads () in
+  let bar = Samhita.System.barrier sys ~parties:threads in
+  for tid = 0 to threads - 1 do
+    ignore
+      (Samhita.System.spawn sys (fun t ->
+           if tid = 0 then a := T.malloc t ~bytes:8;
+           T.barrier_wait t bar;
+           for r = 0 to rounds - 1 do
+             if r mod threads = tid then
+               T.write_f64 t !a (T.read_f64 t !a +. 1.0);
+             T.barrier_wait t bar
+           done;
+           if tid = 0 then final := T.read_f64 t !a)
+        : T.t)
+  done;
+  Samhita.System.run sys;
+  Alcotest.(check (float 0.)) "all increments land" (float_of_int rounds)
+    !final
+
+let test_false_sharing_correct () =
+  (* Disjoint slices of one line, written by all threads between barriers:
+     single-writer migration must still merge everything (whole-line
+     writebacks carry the current merge). *)
+  let threads = 4 in
+  let base = ref 0 in
+  let errors = ref 0 in
+  let sys = Samhita.System.create ~config:sc_cfg ~threads () in
+  let bar = Samhita.System.barrier sys ~parties:threads in
+  let slice = line_bytes / threads in
+  for tid = 0 to threads - 1 do
+    ignore
+      (Samhita.System.spawn sys (fun t ->
+           if tid = 0 then base := T.malloc t ~bytes:line_bytes;
+           T.barrier_wait t bar;
+           for o = 0 to (slice / 8) - 1 do
+             T.write_f64 t (!base + (tid * slice) + (o * 8))
+               (float_of_int (500 + tid))
+           done;
+           T.barrier_wait t bar;
+           for other = 0 to threads - 1 do
+             for o = 0 to (slice / 8) - 1 do
+               if
+                 T.read_f64 t (!base + (other * slice) + (o * 8))
+                 <> float_of_int (500 + other)
+               then incr errors
+             done
+           done)
+        : T.t)
+  done;
+  Samhita.System.run sys;
+  Alcotest.(check int) "single-writer migration preserves all bytes" 0
+    !errors
+
+let test_eviction_writeback () =
+  let config = { sc_cfg with cache_lines = 2; prefetch = false } in
+  ignore
+    (run_threads ~config ~threads:1 (fun _ _ t ->
+         let lines = 5 in
+         let a = T.malloc t ~bytes:(lines * line_bytes) in
+         for i = 0 to lines - 1 do
+           T.write_f64 t (a + (i * line_bytes)) (float_of_int (i + 1))
+         done;
+         for i = 0 to lines - 1 do
+           Alcotest.(check (float 0.))
+             (Printf.sprintf "line %d written back on eviction" i)
+             (float_of_int (i + 1))
+             (T.read_f64 t (a + (i * line_bytes)))
+         done))
+
+let test_lock_counter_sc () =
+  let threads = 4 in
+  let a = ref 0 in
+  let final = ref nan in
+  let sys = Samhita.System.create ~config:sc_cfg ~threads () in
+  let m = Samhita.System.mutex sys in
+  let bar = Samhita.System.barrier sys ~parties:threads in
+  for tid = 0 to threads - 1 do
+    ignore
+      (Samhita.System.spawn sys (fun t ->
+           if tid = 0 then a := T.malloc t ~bytes:8;
+           T.barrier_wait t bar;
+           for _ = 1 to 10 do
+             T.mutex_lock t m;
+             T.write_f64 t !a (T.read_f64 t !a +. 1.0);
+             T.mutex_unlock t m
+           done;
+           T.barrier_wait t bar;
+           if tid = 0 then final := T.read_f64 t !a)
+        : T.t)
+  done;
+  Samhita.System.run sys;
+  Alcotest.(check (float 0.)) "lock-protected counter" 40.0 !final
+
+let sc_backend = Workload.Samhita_backend.make ~config:sc_cfg ()
+
+let test_micro_exact_under_sc () =
+  let p =
+    { Workload.Microbench.default_params with n_outer = 3; m_inner = 2 }
+  in
+  List.iter
+    (fun alloc ->
+       let r =
+         Workload.Microbench.run sc_backend ~threads:4
+           { p with Workload.Microbench.alloc }
+       in
+       Alcotest.(check bool)
+         ("gsum exact under SC, " ^ Workload.Microbench.mode_name alloc)
+         true
+         (r.gsum = r.expected_gsum))
+    [ Workload.Microbench.Local; Global; Global_strided ]
+
+let test_jacobi_exact_under_sc () =
+  let p = { Workload.Jacobi.default_params with n = 32; iters = 3 } in
+  let ref_sum, _ = Workload.Jacobi.reference p in
+  let r = Workload.Jacobi.run sc_backend ~threads:4 p in
+  Alcotest.(check bool) "jacobi grid exact under SC" true
+    (r.checksum = ref_sum)
+
+let test_sc_pays_for_false_sharing () =
+  (* The paper's motivating claim: under false sharing, per-store coherence
+     (SC) costs far more compute time than RegC's batched consistency. *)
+  let p =
+    { Workload.Microbench.default_params with
+      m_inner = 5;
+      alloc = Workload.Microbench.Global_strided }
+  in
+  let regc = Workload.Microbench.run Workload.Samhita_backend.default
+      ~threads:8 p
+  in
+  let sc = Workload.Microbench.run sc_backend ~threads:8 p in
+  let mean = Workload.Microbench.mean in
+  Alcotest.(check bool)
+    (Printf.sprintf "sc compute (%.0f ns) > 3x regc compute (%.0f ns)"
+       (mean sc.compute_ns) (mean regc.compute_ns))
+    true
+    (mean sc.compute_ns > 3. *. mean regc.compute_ns)
+
+let test_sc_fine_without_sharing () =
+  (* Without array sharing, SC's only recurring coherence traffic is the
+     lock-protected global sum (one exclusive acquisition per critical
+     section); with enough compute per iteration that amortizes and SC
+     tracks RegC closely. *)
+  let p =
+    { Workload.Microbench.default_params with
+      m_inner = 100;
+      alloc = Workload.Microbench.Local }
+  in
+  let regc = Workload.Microbench.run Workload.Samhita_backend.default
+      ~threads:4 p
+  in
+  let sc = Workload.Microbench.run sc_backend ~threads:4 p in
+  let mean = Workload.Microbench.mean in
+  Alcotest.(check bool) "sc local compute within 25% of regc at M=100" true
+    (mean sc.compute_ns < 1.25 *. mean regc.compute_ns)
+
+let tests =
+  [ Alcotest.test_case "read own write" `Quick test_read_own_write;
+    Alcotest.test_case "ownership tracked" `Quick
+      test_exclusive_ownership_tracked;
+    Alcotest.test_case "ping-pong values" `Quick test_ping_pong_values;
+    Alcotest.test_case "false sharing correct" `Quick
+      test_false_sharing_correct;
+    Alcotest.test_case "eviction writeback" `Quick test_eviction_writeback;
+    Alcotest.test_case "lock counter" `Quick test_lock_counter_sc;
+    Alcotest.test_case "micro exact" `Quick test_micro_exact_under_sc;
+    Alcotest.test_case "jacobi exact" `Quick test_jacobi_exact_under_sc;
+    Alcotest.test_case "SC pays for false sharing" `Quick
+      test_sc_pays_for_false_sharing;
+    Alcotest.test_case "SC fine without sharing" `Quick
+      test_sc_fine_without_sharing ]
+
+let () = Alcotest.run "samhita.sc" [ ("sc-invalidate", tests) ]

@@ -1,0 +1,190 @@
+(* Tests for simulator-level synchronization primitives (Ivar, Mailbox,
+   Semaphore) and the Resource facility. *)
+
+let ns = Desim.Time.ns
+
+let run_sim body =
+  let e = Desim.Engine.create () in
+  body e;
+  Desim.Engine.run e;
+  e
+
+(* ---------------- Ivar ---------------- *)
+
+let test_ivar_fill_then_read () =
+  let iv = Desim.Sync.Ivar.create () in
+  Desim.Sync.Ivar.fill iv 7;
+  Alcotest.(check bool) "filled" true (Desim.Sync.Ivar.is_filled iv);
+  Alcotest.(check (option int)) "peek" (Some 7) (Desim.Sync.Ivar.peek iv);
+  let got = ref 0 in
+  ignore
+    (run_sim (fun e ->
+         Desim.Engine.spawn e (fun () -> got := Desim.Sync.Ivar.read iv)));
+  Alcotest.(check int) "read" 7 !got
+
+let test_ivar_blocks_until_fill () =
+  let iv = Desim.Sync.Ivar.create () in
+  let got_at = ref (-1) in
+  ignore
+    (run_sim (fun e ->
+         Desim.Engine.spawn e (fun () ->
+             ignore (Desim.Sync.Ivar.read iv : int);
+             got_at := Desim.Time.to_ns (Desim.Engine.now e));
+         Desim.Engine.schedule e ~delay:(ns 40) (fun () ->
+             Desim.Sync.Ivar.fill iv 1)));
+  Alcotest.(check int) "woken at fill time" 40 !got_at
+
+let test_ivar_multiple_readers () =
+  let iv = Desim.Sync.Ivar.create () in
+  let sum = ref 0 in
+  ignore
+    (run_sim (fun e ->
+         for _ = 1 to 3 do
+           Desim.Engine.spawn e (fun () ->
+               sum := !sum + Desim.Sync.Ivar.read iv)
+         done;
+         Desim.Engine.schedule e ~delay:(ns 5) (fun () ->
+             Desim.Sync.Ivar.fill iv 10)));
+  Alcotest.(check int) "all readers woken" 30 !sum
+
+let test_ivar_double_fill () =
+  let iv = Desim.Sync.Ivar.create () in
+  Desim.Sync.Ivar.fill iv 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Desim.Sync.Ivar.fill iv 2)
+
+(* ---------------- Mailbox ---------------- *)
+
+let test_mailbox_fifo () =
+  let mb = Desim.Sync.Mailbox.create () in
+  let got = ref [] in
+  ignore
+    (run_sim (fun e ->
+         Desim.Engine.spawn e (fun () ->
+             for _ = 1 to 3 do
+               got := Desim.Sync.Mailbox.recv mb :: !got
+             done);
+         Desim.Engine.schedule e (fun () ->
+             List.iter (Desim.Sync.Mailbox.send mb) [ 1; 2; 3 ])));
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_buffered () =
+  let mb = Desim.Sync.Mailbox.create () in
+  Desim.Sync.Mailbox.send mb "x";
+  Desim.Sync.Mailbox.send mb "y";
+  Alcotest.(check int) "length" 2 (Desim.Sync.Mailbox.length mb);
+  Alcotest.(check (option string)) "try_recv" (Some "x")
+    (Desim.Sync.Mailbox.try_recv mb);
+  Alcotest.(check (option string)) "try_recv 2" (Some "y")
+    (Desim.Sync.Mailbox.try_recv mb);
+  Alcotest.(check (option string)) "empty" None
+    (Desim.Sync.Mailbox.try_recv mb)
+
+let test_mailbox_waiting_receivers_fifo () =
+  let mb = Desim.Sync.Mailbox.create () in
+  let got = ref [] in
+  ignore
+    (run_sim (fun e ->
+         for i = 1 to 2 do
+           Desim.Engine.spawn e (fun () ->
+               let v = Desim.Sync.Mailbox.recv mb in
+               got := (i, v) :: !got)
+         done;
+         Desim.Engine.schedule e ~delay:(ns 10) (fun () ->
+             Desim.Sync.Mailbox.send mb "a";
+             Desim.Sync.Mailbox.send mb "b")));
+  Alcotest.(check (list (pair int string)))
+    "receivers served in arrival order"
+    [ (1, "a"); (2, "b") ]
+    (List.rev !got)
+
+(* ---------------- Semaphore ---------------- *)
+
+let test_semaphore_counts () =
+  let s = Desim.Sync.Semaphore.create 2 in
+  Alcotest.(check int) "initial" 2 (Desim.Sync.Semaphore.available s);
+  ignore
+    (run_sim (fun e ->
+         Desim.Engine.spawn e (fun () ->
+             Desim.Sync.Semaphore.acquire s;
+             Desim.Sync.Semaphore.acquire s;
+             Alcotest.(check int) "drained" 0
+               (Desim.Sync.Semaphore.available s);
+             Desim.Sync.Semaphore.release s;
+             Desim.Sync.Semaphore.release s)));
+  Alcotest.(check int) "restored" 2 (Desim.Sync.Semaphore.available s)
+
+let test_semaphore_blocks () =
+  let s = Desim.Sync.Semaphore.create 1 in
+  let order = ref [] in
+  ignore
+    (run_sim (fun e ->
+         Desim.Engine.spawn e (fun () ->
+             Desim.Sync.Semaphore.acquire s;
+             order := "a-acq" :: !order;
+             Desim.Engine.delay (ns 50);
+             Desim.Sync.Semaphore.release s;
+             order := "a-rel" :: !order);
+         Desim.Engine.spawn e (fun () ->
+             Desim.Engine.delay (ns 10);
+             Desim.Sync.Semaphore.acquire s;
+             order := "b-acq" :: !order)));
+  Alcotest.(check (list string))
+    "blocked until release"
+    [ "a-acq"; "a-rel"; "b-acq" ]
+    (List.rev !order)
+
+let test_semaphore_negative () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Semaphore.create: negative count") (fun () ->
+      ignore (Desim.Sync.Semaphore.create (-1)))
+
+(* ---------------- Resource ---------------- *)
+
+let test_resource_serializes () =
+  let r = Desim.Resource.create ~name:"svc" () in
+  let t1 = Desim.Resource.reserve r ~now:(Desim.Time.of_ns 0) ~duration:100 in
+  Alcotest.(check int) "first completes at 100" 100 (Desim.Time.to_ns t1);
+  (* Arrives at 50 while busy: queues until 100, finishes at 160. *)
+  let t2 = Desim.Resource.reserve r ~now:(Desim.Time.of_ns 50) ~duration:60 in
+  Alcotest.(check int) "queued job" 160 (Desim.Time.to_ns t2);
+  (* Arrives after idle period: starts immediately. *)
+  let t3 = Desim.Resource.reserve r ~now:(Desim.Time.of_ns 500) ~duration:10 in
+  Alcotest.(check int) "idle restart" 510 (Desim.Time.to_ns t3);
+  Alcotest.(check int) "jobs" 3 (Desim.Resource.jobs r);
+  Alcotest.(check int) "busy time" 170 (Desim.Resource.busy_time r)
+
+let test_resource_utilization () =
+  let r = Desim.Resource.create () in
+  ignore (Desim.Resource.reserve r ~now:Desim.Time.zero ~duration:250);
+  Alcotest.(check (float 1e-9)) "25%" 0.25
+    (Desim.Resource.utilization r ~horizon:(Desim.Time.of_ns 1000));
+  Desim.Resource.reset r;
+  Alcotest.(check int) "reset busy" 0 (Desim.Resource.busy_time r);
+  Alcotest.(check int) "reset jobs" 0 (Desim.Resource.jobs r)
+
+let test_resource_negative_duration () =
+  let r = Desim.Resource.create () in
+  let t = Desim.Resource.reserve r ~now:(Desim.Time.of_ns 5) ~duration:(-10) in
+  Alcotest.(check int) "clamped to zero" 5 (Desim.Time.to_ns t)
+
+let tests =
+  [ Alcotest.test_case "ivar fill then read" `Quick test_ivar_fill_then_read;
+    Alcotest.test_case "ivar blocks" `Quick test_ivar_blocks_until_fill;
+    Alcotest.test_case "ivar broadcast" `Quick test_ivar_multiple_readers;
+    Alcotest.test_case "ivar double fill" `Quick test_ivar_double_fill;
+    Alcotest.test_case "mailbox fifo" `Quick test_mailbox_fifo;
+    Alcotest.test_case "mailbox buffered" `Quick test_mailbox_buffered;
+    Alcotest.test_case "mailbox receiver order" `Quick
+      test_mailbox_waiting_receivers_fifo;
+    Alcotest.test_case "semaphore counts" `Quick test_semaphore_counts;
+    Alcotest.test_case "semaphore blocks" `Quick test_semaphore_blocks;
+    Alcotest.test_case "semaphore negative" `Quick test_semaphore_negative;
+    Alcotest.test_case "resource serializes" `Quick test_resource_serializes;
+    Alcotest.test_case "resource utilization" `Quick
+      test_resource_utilization;
+    Alcotest.test_case "resource negative duration" `Quick
+      test_resource_negative_duration ]
+
+let () = Alcotest.run "desim.sync" [ ("sync+resource", tests) ]

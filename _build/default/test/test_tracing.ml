@@ -1,0 +1,103 @@
+(* Tests for the protocol-event trace: a recorded run emits the expected
+   event kinds at plausible times, and the default (null) trace stays
+   silent and free. *)
+
+module T = Samhita.Thread_ctx
+
+let run_traced () =
+  let trace = Desim.Trace.recording () in
+  let sys = Samhita.System.create ~trace ~threads:2 () in
+  let m = Samhita.System.mutex sys in
+  let bar = Samhita.System.barrier sys ~parties:2 in
+  let base = ref 0 in
+  for tid = 0 to 1 do
+    ignore
+      (Samhita.System.spawn sys (fun t ->
+           if tid = 0 then base := T.malloc t ~bytes:64;
+           T.barrier_wait t bar;
+           T.write_f64 t (!base + (tid * 8)) 1.0;
+           T.mutex_lock t m;
+           T.write_f64 t (!base + 32) (float_of_int tid);
+           T.mutex_unlock t m;
+           T.barrier_wait t bar)
+        : T.t)
+  done;
+  Samhita.System.run sys;
+  (trace, sys)
+
+let tags_of trace =
+  List.map (fun e -> e.Desim.Trace.tag) (Desim.Trace.events trace)
+  |> List.sort_uniq compare
+
+let test_event_kinds () =
+  let trace, _ = run_traced () in
+  let tags = tags_of trace in
+  List.iter
+    (fun tag ->
+       Alcotest.(check bool) ("has " ^ tag) true (List.mem tag tags))
+    [ "fetch"; "acquire"; "release"; "barrier" ]
+
+let test_events_timestamped_monotone () =
+  let trace, sys = run_traced () in
+  let events = Desim.Trace.events trace in
+  Alcotest.(check bool) "events recorded" true (List.length events > 6);
+  let wall = Samhita.System.elapsed sys in
+  List.iter
+    (fun e ->
+       Alcotest.(check bool) "within run" true
+         Desim.Time.(e.Desim.Trace.time <= wall))
+    events;
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      Desim.Time.(a.Desim.Trace.time <= b.Desim.Trace.time) && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "emission order respects time" true (monotone events)
+
+let test_acquire_actions_visible () =
+  let trace, _ = run_traced () in
+  let acquire_msgs =
+    List.filter_map
+      (fun e ->
+         if e.Desim.Trace.tag = "acquire" then Some e.Desim.Trace.message
+         else None)
+      (Desim.Trace.events trace)
+  in
+  (* The first acquire is fresh; the second holder's grant carries the
+     first holder's update. *)
+  Alcotest.(check bool) "some acquire is fresh" true
+    (List.exists
+       (fun m -> String.length m > 0 && String.ends_with ~suffix:"fresh" m)
+       acquire_msgs);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i =
+      i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "some acquire patches" true
+    (List.exists (fun m -> contains m "patch") acquire_msgs)
+
+let test_null_trace_records_nothing () =
+  let sys = Samhita.System.create ~threads:1 () in
+  ignore
+    (Samhita.System.spawn sys (fun t ->
+         let a = T.malloc t ~bytes:8 in
+         T.write_f64 t a 1.0)
+      : T.t);
+  Samhita.System.run sys;
+  Alcotest.(check int) "no events on null trace" 0
+    (List.length
+       (Desim.Trace.events (Desim.Engine.trace (Samhita.System.engine sys))))
+
+let tests =
+  [ Alcotest.test_case "event kinds" `Quick test_event_kinds;
+    Alcotest.test_case "timestamps monotone" `Quick
+      test_events_timestamped_monotone;
+    Alcotest.test_case "acquire actions visible" `Quick
+      test_acquire_actions_visible;
+    Alcotest.test_case "null trace silent" `Quick
+      test_null_trace_records_nothing ]
+
+let () = Alcotest.run "samhita.tracing" [ ("tracing", tests) ]

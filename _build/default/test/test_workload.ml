@@ -1,0 +1,199 @@
+(* Tests for the benchmark kernels: exact numerical agreement between both
+   runtimes and the sequential references, plus partition-function
+   properties. *)
+
+let smh = Workload.Samhita_backend.default
+let pth = Workload.Smp_backend.default
+
+(* ---------------- micro-benchmark ---------------- *)
+
+let micro_p =
+  { Workload.Microbench.default_params with n_outer = 3; m_inner = 2 }
+
+let check_micro backend alloc threads =
+  let r = Workload.Microbench.run backend ~threads
+      { micro_p with Workload.Microbench.alloc }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "gsum exact (%s, P=%d)"
+       (Workload.Microbench.mode_name alloc) threads)
+    true
+    (r.gsum = r.expected_gsum)
+
+let test_micro_pth () =
+  List.iter
+    (fun alloc -> List.iter (check_micro pth alloc) [ 1; 2; 8 ])
+    [ Workload.Microbench.Local; Global; Global_strided ]
+
+let test_micro_smh () =
+  List.iter
+    (fun alloc -> List.iter (check_micro smh alloc) [ 1; 3; 8 ])
+    [ Workload.Microbench.Local; Global; Global_strided ]
+
+let test_micro_smh_16 () =
+  (* Threads spanning multiple compute nodes. *)
+  List.iter
+    (fun alloc -> check_micro smh alloc 16)
+    [ Workload.Microbench.Local; Global_strided ]
+
+let test_micro_param_validation () =
+  Alcotest.check_raises "warmup >= n_outer"
+    (Invalid_argument "Microbench.run: warmup must be < n_outer") (fun () ->
+      ignore
+        (Workload.Microbench.run pth ~threads:1
+           { micro_p with warmup = 3 }));
+  Alcotest.check_raises "threads <= 0"
+    (Invalid_argument "Microbench.run: threads") (fun () ->
+      ignore (Workload.Microbench.run pth ~threads:0 micro_p))
+
+let test_micro_metrics_populated () =
+  let r = Workload.Microbench.run smh ~threads:4 micro_p in
+  Alcotest.(check int) "per-thread arrays" 4 (Array.length r.compute_ns);
+  Array.iter
+    (fun c -> Alcotest.(check bool) "compute positive" true (c > 0))
+    r.compute_ns;
+  Alcotest.(check bool) "wall covers compute" true
+    (r.wall_ns > r.compute_ns.(0))
+
+let test_micro_false_sharing_ordering () =
+  (* Strided access must cost at least as much compute as local (the
+     false-sharing penalty of the paper's Figures 3-5). *)
+  let mean = Workload.Microbench.mean in
+  let run alloc =
+    Workload.Microbench.run smh ~threads:8
+      { Workload.Microbench.default_params with
+        m_inner = 5;
+        alloc }
+  in
+  let local = run Workload.Microbench.Local in
+  let strided = run Workload.Microbench.Global_strided in
+  Alcotest.(check bool) "strided compute >= local" true
+    (mean strided.compute_ns >= mean local.compute_ns);
+  Alcotest.(check bool) "strided misses > local" true
+    (Array.fold_left ( + ) 0 strided.misses
+     > Array.fold_left ( + ) 0 local.misses)
+
+(* ---------------- Jacobi ---------------- *)
+
+let jacobi_p = { Workload.Jacobi.default_params with n = 32; iters = 4 }
+
+let test_jacobi_exact () =
+  let ref_sum, ref_res = Workload.Jacobi.reference jacobi_p in
+  Alcotest.(check bool) "reference residual positive" true (ref_res > 0.);
+  List.iter
+    (fun (backend, name, threads) ->
+       let r = Workload.Jacobi.run backend ~threads jacobi_p in
+       Alcotest.(check bool)
+         (Printf.sprintf "grid exact (%s P=%d)" name threads)
+         true
+         (r.checksum = ref_sum))
+    [ (pth, "pth", 1); (pth, "pth", 4); (smh, "smh", 1); (smh, "smh", 4);
+      (smh, "smh", 8) ]
+
+let test_jacobi_residual_decreases () =
+  let r1 = Workload.Jacobi.reference { jacobi_p with iters = 1 } in
+  let r8 = Workload.Jacobi.reference { jacobi_p with iters = 8 } in
+  Alcotest.(check bool) "residual shrinks with iterations" true
+    (snd r8 < snd r1)
+
+let test_jacobi_validation () =
+  Alcotest.check_raises "grid too small"
+    (Invalid_argument "Jacobi.run: grid smaller than threads") (fun () ->
+      ignore (Workload.Jacobi.run pth ~threads:4 { jacobi_p with n = 2 }))
+
+let prop_row_range_partitions =
+  QCheck.Test.make ~name:"row_range partitions interior rows exactly"
+    ~count:200
+    QCheck.(pair (int_range 1 200) (int_range 1 32))
+    (fun (n, threads) ->
+       QCheck.assume (n >= threads);
+       let ranges =
+         List.init threads (fun tid ->
+             Workload.Jacobi.row_range ~n ~threads ~tid)
+       in
+       (* Contiguous cover of [1, n+1) with no gaps or overlaps. *)
+       let rec check expected = function
+         | [] -> expected = n + 1
+         | (lo, hi) :: rest -> lo = expected && hi >= lo && check hi rest
+       in
+       check 1 ranges)
+
+(* ---------------- molecular dynamics ---------------- *)
+
+let md_p = { Workload.Md.default_params with n = 48; steps = 3 }
+
+let test_md_positions_exact () =
+  let ref_sum, _ = Workload.Md.reference md_p in
+  List.iter
+    (fun (backend, name, threads) ->
+       let r = Workload.Md.run backend ~threads md_p in
+       Alcotest.(check bool)
+         (Printf.sprintf "positions exact (%s P=%d)" name threads)
+         true
+         (r.pos_checksum = ref_sum))
+    [ (pth, "pth", 1); (pth, "pth", 6); (smh, "smh", 1); (smh, "smh", 6);
+      (smh, "smh", 12) ]
+
+let test_md_energies_close () =
+  let _, ref_e = Workload.Md.reference md_p in
+  let r = Workload.Md.run smh ~threads:6 md_p in
+  Alcotest.(check int) "one energy pair per step" md_p.steps
+    (List.length r.energies);
+  List.iter2
+    (fun (ke, pe) (rke, rpe) ->
+       let close a b =
+         Float.abs (a -. b) <= (1e-9 *. Float.abs b) +. 1e-12
+       in
+       Alcotest.(check bool) "kinetic close" true (close ke rke);
+       Alcotest.(check bool) "potential close" true (close pe rpe))
+    r.energies ref_e
+
+let test_md_kinetic_grows_from_rest () =
+  let _, ref_e = Workload.Md.reference md_p in
+  let kes = List.map fst ref_e in
+  let rec increasing = function
+    | a :: (b :: _ as r) -> a < b && increasing r
+    | _ -> true
+  in
+  Alcotest.(check bool) "system accelerates from rest" true (increasing kes)
+
+let prop_slice_partitions =
+  QCheck.Test.make ~name:"particle slices partition [0,n)" ~count:200
+    QCheck.(pair (int_range 1 300) (int_range 1 32))
+    (fun (n, threads) ->
+       QCheck.assume (n >= threads);
+       let slices =
+         List.init threads (fun tid -> Workload.Md.slice ~n ~threads ~tid)
+       in
+       let rec check expected = function
+         | [] -> expected = n
+         | (lo, hi) :: rest -> lo = expected && hi >= lo && check hi rest
+       in
+       check 0 slices)
+
+let test_md_validation () =
+  Alcotest.check_raises "too few particles"
+    (Invalid_argument "Md.run: fewer particles than threads") (fun () ->
+      ignore (Workload.Md.run pth ~threads:8 { md_p with n = 4 }))
+
+let tests =
+  [ Alcotest.test_case "micro exact on pthreads" `Quick test_micro_pth;
+    Alcotest.test_case "micro exact on samhita" `Quick test_micro_smh;
+    Alcotest.test_case "micro exact at 16 threads" `Quick test_micro_smh_16;
+    Alcotest.test_case "micro validation" `Quick test_micro_param_validation;
+    Alcotest.test_case "micro metrics" `Quick test_micro_metrics_populated;
+    Alcotest.test_case "false-sharing ordering" `Quick
+      test_micro_false_sharing_ordering;
+    Alcotest.test_case "jacobi exact" `Quick test_jacobi_exact;
+    Alcotest.test_case "jacobi residual decreases" `Quick
+      test_jacobi_residual_decreases;
+    Alcotest.test_case "jacobi validation" `Quick test_jacobi_validation;
+    QCheck_alcotest.to_alcotest prop_row_range_partitions;
+    Alcotest.test_case "md positions exact" `Quick test_md_positions_exact;
+    Alcotest.test_case "md energies close" `Quick test_md_energies_close;
+    Alcotest.test_case "md kinetic grows" `Quick
+      test_md_kinetic_grows_from_rest;
+    QCheck_alcotest.to_alcotest prop_slice_partitions;
+    Alcotest.test_case "md validation" `Quick test_md_validation ]
+
+let () = Alcotest.run "workload" [ ("kernels", tests) ]
