@@ -5,7 +5,11 @@
      fig <id>             regenerate one figure (text table or CSV)
      micro                run the Figure-2 micro-benchmark once
      jacobi               run the Jacobi kernel once
-     md                   run the molecular-dynamics kernel once *)
+     md                   run the molecular-dynamics kernel once
+     race                 run the seeded-race kernel under RegCSan
+
+   `micro`, `jacobi` and `md` accept --sanitize to attach the RegCSan
+   analyzer and print its findings after the run. *)
 
 open Cmdliner
 
@@ -60,6 +64,33 @@ let threads_t =
   Arg.(
     value & opt int 8
     & info [ "t"; "threads" ] ~docv:"N" ~doc:"Compute thread count.")
+
+let sanitize_t =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Attach the RegCSan access-stream analyzer and print its \
+           findings after the run: data races, RegC publication \
+           violations, mixed region/ordinary writes, invalid reads, lock \
+           misuse. Samhita backend only.")
+
+(* With --sanitize (or micro's --report) the kernel runs on a backend that
+   captures the concrete system so the analyzer/report can be read back. *)
+let sanitized_backend ~sanitize ~captured =
+  let config =
+    if sanitize then
+      { Samhita.Config.default with Samhita.Config.sanitize = true }
+    else Samhita.Config.default
+  in
+  Workload.Samhita_backend.make ~config
+    ~on_create:(fun sys -> captured := Some sys)
+    ()
+
+let print_sanitizer sys =
+  match Samhita.System.sanitizer sys with
+  | None -> ()
+  | Some s -> Format.printf "%a@." Analysis.Regcsan.pp_report s
 
 (* ---------------- list ---------------- *)
 
@@ -124,17 +155,14 @@ let micro_cmd =
   let s_t =
     Arg.(value & opt int 2 & info [ "s" ] ~docv:"S" ~doc:"Rows per thread.")
   in
-  let run backend threads alloc m s report =
+  let run backend threads alloc m s report sanitize =
     let p =
       { Workload.Microbench.default_params with alloc; m_inner = m; s_rows = s }
     in
     let captured = ref None in
     let b =
       match backend with
-      | `Smh when report ->
-        Workload.Samhita_backend.make
-          ~on_create:(fun sys -> captured := Some sys)
-          ()
+      | `Smh when report || sanitize -> sanitized_backend ~sanitize ~captured
       | other -> backend_of other
     in
     let r = Workload.Microbench.run b ~threads p in
@@ -155,14 +183,21 @@ let micro_cmd =
       (if r.gsum = r.expected_gsum then "OK" else "MISMATCH");
     match !captured with
     | Some sys ->
-      Format.printf "%a@." Harness.Report.pp (Harness.Report.of_system sys)
-    | None ->
+      (* The harness report already embeds the sanitizer section when the
+         analyzer is attached, so print it standalone only without --report. *)
       if report then
-        prerr_endline "--report is only available with --backend smh"
+        Format.printf "%a@." Harness.Report.pp (Harness.Report.of_system sys)
+      else if sanitize then print_sanitizer sys
+    | None ->
+      if report || sanitize then
+        prerr_endline
+          "--report/--sanitize are only available with --backend smh"
   in
   Cmd.v
     (Cmd.info "micro" ~doc:"Run the paper's Figure-2 micro-benchmark once")
-    Term.(const run $ backend_t $ threads_t $ alloc_t $ m_t $ s_t $ report_t)
+    Term.(
+      const run $ backend_t $ threads_t $ alloc_t $ m_t $ s_t $ report_t
+      $ sanitize_t)
 
 (* ---------------- jacobi ---------------- *)
 
@@ -173,9 +208,15 @@ let jacobi_cmd =
   let iters_t =
     Arg.(value & opt int 20 & info [ "iters" ] ~docv:"K" ~doc:"Sweeps.")
   in
-  let run backend threads n iters =
+  let run backend threads n iters sanitize =
     let p = { Workload.Jacobi.default_params with n; iters } in
-    let r = Workload.Jacobi.run (backend_of backend) ~threads p in
+    let captured = ref None in
+    let b =
+      match backend with
+      | `Smh when sanitize -> sanitized_backend ~sanitize ~captured
+      | other -> backend_of other
+    in
+    let r = Workload.Jacobi.run b ~threads p in
     let ref_sum, ref_res = Workload.Jacobi.reference p in
     Printf.printf
       "jacobi %s P=%d n=%d iters=%d\n\
@@ -187,11 +228,16 @@ let jacobi_cmd =
       (float_of_int r.wall_ns /. 1e6)
       r.checksum ref_sum
       (if r.checksum = ref_sum then "OK" else "MISMATCH")
-      r.residual ref_res
+      r.residual ref_res;
+    (match !captured with
+     | Some sys -> print_sanitizer sys
+     | None ->
+       if sanitize then
+         prerr_endline "--sanitize is only available with --backend smh")
   in
   Cmd.v
     (Cmd.info "jacobi" ~doc:"Run the Jacobi application kernel once")
-    Term.(const run $ backend_t $ threads_t $ n_t $ iters_t)
+    Term.(const run $ backend_t $ threads_t $ n_t $ iters_t $ sanitize_t)
 
 (* ---------------- md ---------------- *)
 
@@ -202,9 +248,15 @@ let md_cmd =
   let steps_t =
     Arg.(value & opt int 10 & info [ "steps" ] ~docv:"K" ~doc:"Time steps.")
   in
-  let run backend threads n steps =
+  let run backend threads n steps sanitize =
     let p = { Workload.Md.default_params with n; steps } in
-    let r = Workload.Md.run (backend_of backend) ~threads p in
+    let captured = ref None in
+    let b =
+      match backend with
+      | `Smh when sanitize -> sanitized_backend ~sanitize ~captured
+      | other -> backend_of other
+    in
+    let r = Workload.Md.run b ~threads p in
     let ref_sum, _ = Workload.Md.reference p in
     Printf.printf
       "md %s P=%d n=%d steps=%d\n\
@@ -218,13 +270,35 @@ let md_cmd =
     List.iteri
       (fun i (ke, pe) ->
          Printf.printf "  step %2d  kinetic %.6f  potential %.6f\n" i ke pe)
-      r.energies
+      r.energies;
+    (match !captured with
+     | Some sys -> print_sanitizer sys
+     | None ->
+       if sanitize then
+         prerr_endline "--sanitize is only available with --backend smh")
   in
   Cmd.v
     (Cmd.info "md" ~doc:"Run the molecular-dynamics kernel once")
-    Term.(const run $ backend_t $ threads_t $ n_t $ steps_t)
+    Term.(const run $ backend_t $ threads_t $ n_t $ steps_t $ sanitize_t)
+
+(* ---------------- race ---------------- *)
+
+let race_cmd =
+  let run () =
+    let sys = Workload.Racy.run () in
+    print_sanitizer sys
+  in
+  Cmd.v
+    (Cmd.info "race"
+       ~doc:
+         "Run the deliberately racy two-thread kernel under RegCSan; it \
+          must report exactly one finding per seeded defect class")
+    Term.(const run $ const ())
 
 let () =
   let doc = "Samhita virtual-shared-memory reproduction driver" in
   let info = Cmd.info "samhita_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; fig_cmd; micro_cmd; jacobi_cmd; md_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; fig_cmd; micro_cmd; jacobi_cmd; md_cmd; race_cmd ]))

@@ -1,0 +1,25 @@
+type t = int array
+
+let create n =
+  if n <= 0 then invalid_arg "Vclock.create: size must be positive";
+  Array.make n 0
+
+let size = Array.length
+let copy = Array.copy
+let get c i = c.(i)
+let set c i v = c.(i) <- v
+let tick c i = c.(i) <- c.(i) + 1
+
+let join dst src =
+  for i = 0 to Array.length dst - 1 do
+    if src.(i) > dst.(i) then dst.(i) <- src.(i)
+  done
+
+let leq a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let pp ppf c =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int c)))

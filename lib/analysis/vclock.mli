@@ -1,0 +1,24 @@
+(** Fixed-size vector clocks over thread ids [0 .. n-1]. *)
+
+type t
+
+val create : int -> t
+(** All-zero clock for [n] threads. *)
+
+val size : t -> int
+val copy : t -> t
+
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+
+val tick : t -> int -> unit
+(** Increment thread [i]'s own component (a release-style event). *)
+
+val join : t -> t -> unit
+(** [join dst src] folds [src] into [dst] component-wise (acquire). *)
+
+val leq : t -> t -> bool
+(** Pointwise [<=]: does every event in the first clock happen before the
+    second? *)
+
+val pp : Format.formatter -> t -> unit

@@ -15,7 +15,8 @@ type t = {
 let create () = { peers = Hashtbl.create 64; dir = Hashtbl.create 1024 }
 
 let register t ~thread peer =
-  if thread < 0 || thread > 61 then
+  (* System.create validates the count up front; this guards direct use. *)
+  if thread < 0 || thread >= Config.max_threads then
     invalid_arg "Coherence_sc.register: thread id must fit a bitmask";
   Hashtbl.replace t.peers thread peer
 
@@ -53,7 +54,7 @@ let drop_sharer t ~line ~thread =
 let sharer_list t ~line =
   let mask = sharers t ~line in
   let rec go i acc =
-    if i > 61 then List.rev acc
+    if i >= Config.max_threads then List.rev acc
     else go (i + 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
   in
   go 0 []

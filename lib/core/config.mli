@@ -56,9 +56,19 @@ type t = {
   threads_per_node : int;  (** Compute threads hosted per compute node. *)
   fabric : Fabric.Profile.t;
   seed : int;
+  sanitize : bool;
+      (** Attach a RegCSan analyzer ({!Analysis.Regcsan}) to every thread:
+          all reads, writes, allocations and sync edges stream into a
+          happens-before race detector and RegC-conformance linter. Off by
+          default; when off the runtime pays a single branch per access. *)
 }
 
 val default : t
+
+val max_threads : int
+(** Hard cap on compute threads per system (62): sharer and writer sets
+    are thread-id bitmasks in a 63-bit [int]. {!System.create} enforces
+    it. *)
 
 val validate : t -> (unit, string) result
 (** Check geometric and layout invariants; returned error names the first

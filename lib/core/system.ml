@@ -6,6 +6,7 @@ type t = {
   servers : Memory_server.t array;
   manager : Manager.t;
   sc : Coherence_sc.t;
+  san : Analysis.Regcsan.t option;
   total_threads : int;
   first_compute_node : int;
   mutable threads_rev : Thread_ctx.t list;
@@ -17,6 +18,12 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
    | Ok () -> ()
    | Error msg -> invalid_arg ("System.create: " ^ msg));
   if threads <= 0 then invalid_arg "System.create: threads must be positive";
+  if threads > Config.max_threads then
+    invalid_arg
+      (Printf.sprintf
+         "System.create: %d threads requested but at most %d are supported \
+          (thread ids must fit the sharer/writer bitmasks)"
+         threads Config.max_threads);
   let engine = Desim.Engine.create ~trace () in
   let ms = config.Config.memory_servers in
   let tpn = config.Config.threads_per_node in
@@ -47,6 +54,12 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
     servers;
     manager;
     sc = Coherence_sc.create ();
+    san =
+      (if config.Config.sanitize then
+         Some
+           (Analysis.Regcsan.create ~threads
+              ~page_bytes:config.Config.page_bytes)
+       else None);
     total_threads = threads;
     first_compute_node;
     threads_rev = [];
@@ -59,6 +72,7 @@ let network t = t.network
 let manager t = t.manager
 let servers t = t.servers
 let total_threads t = t.total_threads
+let sanitizer t = t.san
 
 let mutex t = Manager.lock_create t.manager
 let barrier t ~parties = Manager.barrier_create t.manager ~parties
@@ -71,7 +85,8 @@ let env t : Thread_ctx.env =
     network = t.network;
     servers = t.servers;
     manager = t.manager;
-    sc = t.sc }
+    sc = t.sc;
+    san = t.san }
 
 let spawn t body =
   if t.next_thread >= t.total_threads then

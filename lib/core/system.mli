@@ -14,7 +14,8 @@ type t
 val create :
   ?trace:Desim.Trace.t -> ?config:Config.t -> threads:int -> unit -> t
 (** Build a system able to host [threads] compute threads. Raises
-    [Invalid_argument] if the configuration fails {!Config.validate}. *)
+    [Invalid_argument] if the configuration fails {!Config.validate} or if
+    [threads] exceeds {!Config.max_threads}. *)
 
 val config : t -> Config.t
 val layout : t -> Layout.t
@@ -23,6 +24,10 @@ val network : t -> Fabric.Network.t
 val manager : t -> Manager.t
 val servers : t -> Memory_server.t array
 val total_threads : t -> int
+
+val sanitizer : t -> Analysis.Regcsan.t option
+(** The RegCSan instance observing this system, when
+    [Config.sanitize] is set. Query it after {!run} for findings. *)
 
 val mutex : t -> Manager.lock_id
 (** Create a mutex (setup-time operation; no simulated cost). *)

@@ -6,6 +6,8 @@ type env = {
   servers : Memory_server.t array;
   manager : Manager.t;
   sc : Coherence_sc.t;  (** Directory for the Sc_invalidate model. *)
+  san : Analysis.Regcsan.t option;
+      (** RegCSan access-stream analyzer ([Config.sanitize]). *)
 }
 
 type t = {
@@ -125,6 +127,22 @@ let trace t ~tag fmt =
   Desim.Trace.emitf tr ~time:(now t) ~tag fmt
 
 let traced t = Desim.Trace.enabled (Desim.Engine.trace t.e.engine)
+
+(* RegCSan hooks: with the analyzer disabled (the default) each access pays
+   exactly one branch on an immutable field — nothing is allocated and no
+   event is constructed. *)
+
+let san_read t ~addr ~len =
+  match t.e.san with
+  | None -> ()
+  | Some s -> Analysis.Regcsan.on_read s ~thread:t.id ~time:(now t) ~addr ~len
+
+let san_write t ~addr ~len =
+  match t.e.san with
+  | None -> ()
+  | Some s ->
+    let lock = match t.held with (l, _) :: _ -> l | [] -> -1 in
+    Analysis.Regcsan.on_write s ~thread:t.id ~time:(now t) ~addr ~len ~lock
 
 let forget_last t (e : Cache.entry) =
   match t.last with
@@ -549,10 +567,12 @@ let check_aligned addr =
 let read_i64 t addr =
   check_aligned addr;
   let entry, off = locate t addr in
+  san_read t ~addr ~len:8;
   Bytes.get_int64_le entry.Cache.data off
 
 let write_i64 t addr v =
   check_aligned addr;
+  san_write t ~addr ~len:8;
   match t.e.cfg.Config.model with
   | Config.Sc_invalidate ->
     sc_store t addr ~store:(fun (e : Cache.entry) off ->
@@ -587,6 +607,7 @@ let charge_extra_words t seg =
 
 let write_bytes t addr src =
   let len = Bytes.length src in
+  if len > 0 then san_write t ~addr ~len;
   let pos = ref 0 in
   while !pos < len do
     let a = addr + !pos in
@@ -616,6 +637,7 @@ let write_bytes t addr src =
 
 let read_bytes t addr ~len =
   if len < 0 then invalid_arg "Samhita.read_bytes: negative length";
+  if len > 0 then san_read t ~addr ~len;
   let out = Bytes.create len in
   let pos = ref 0 in
   while !pos < len do
@@ -630,6 +652,7 @@ let read_bytes t addr ~len =
 
 let read_u8 t addr =
   let entry, off = locate t addr in
+  san_read t ~addr ~len:1;
   Char.code (Bytes.get entry.Cache.data off)
 
 let write_u8 t addr v =
@@ -644,6 +667,7 @@ let check_aligned4 addr =
 let read_i32 t addr =
   check_aligned4 addr;
   let entry, off = locate t addr in
+  san_read t ~addr ~len:4;
   Bytes.get_int32_le entry.Cache.data off
 
 let write_i32 t addr v =
@@ -672,7 +696,7 @@ let manager_alloc_rpc t ~kind ~bytes =
   delay_until t reply;
   Manager.alloc mgr ~kind ~bytes
 
-let rec malloc t ~bytes =
+let rec malloc_impl t ~bytes =
   if bytes <= 0 then invalid_arg "Samhita.malloc: bytes must be positive";
   charge t t.e.cfg.Config.t_mem;
   if bytes <= t.e.cfg.Config.small_threshold then begin
@@ -685,7 +709,7 @@ let rec malloc t ~bytes =
       let base = manager_alloc_rpc t ~kind:`Arena_chunk ~bytes:size in
       Allocator.Arena.add_chunk t.arena ~base ~size;
       t.m_alloc <- t.m_alloc + Desim.Time.diff (now t) start;
-      malloc t ~bytes
+      malloc_impl t ~bytes
   end
   else begin
     sync_clock t;
@@ -698,7 +722,20 @@ let rec malloc t ~bytes =
     addr
   end
 
+let malloc t ~bytes =
+  let addr = malloc_impl t ~bytes in
+  (match t.e.san with
+   | None -> ()
+   | Some s ->
+     Analysis.Regcsan.on_malloc s ~thread:t.id ~time:(now t) ~addr ~bytes);
+  addr
+
 let free t ~addr ~bytes =
+  (match t.e.san with
+   | None -> ()
+   | Some s when bytes > 0 ->
+     Analysis.Regcsan.on_free s ~thread:t.id ~time:(now t) ~addr ~bytes
+   | Some _ -> ());
   if bytes > 0 && bytes <= t.e.cfg.Config.small_threshold then
     Allocator.Arena.free t.arena ~addr ~bytes
 
@@ -836,6 +873,10 @@ let flush_update_log t log =
 
 let mutex_lock t lock =
   sync_clock t;
+  (match t.e.san with
+   | None -> ()
+   | Some s ->
+     Analysis.Regcsan.on_lock_attempt s ~thread:t.id ~time:(now t) ~lock);
   let start = now t in
   let last_seen =
     Option.value (Hashtbl.find_opt t.lock_seen lock) ~default:0
@@ -873,12 +914,19 @@ let mutex_lock t lock =
          Printf.sprintf "notices(%d lines)" (List.length ns));
   apply_grant t grant;
   Hashtbl.replace t.lock_seen lock grant.Manager.lock_version;
+  (match t.e.san with
+   | None -> ()
+   | Some s -> Analysis.Regcsan.on_lock_acquired s ~thread:t.id ~lock);
   t.held <- (lock, ref []) :: t.held;
   t.m_locks <- t.m_locks + 1;
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
 
 let mutex_unlock t lock =
   sync_clock t;
+  (match t.e.san with
+   | None -> ()
+   | Some s ->
+     Analysis.Regcsan.on_unlock s ~thread:t.id ~time:(now t) ~lock);
   let start = now t in
   let log =
     match List.assoc_opt lock t.held with
@@ -915,6 +963,16 @@ let barrier_wait t barrier =
   let mgr = t.e.manager in
   let mep = Manager.endpoint mgr in
   let wire = barrier_arrive_overhead + (8 * List.length lines) in
+  (* The manager bumps the epoch when it releases the barrier, so every
+     participant captures the same epoch number before arriving. *)
+  let san_epoch =
+    match t.e.san with
+    | None -> -1
+    | Some s ->
+      let e = Manager.barrier_epoch mgr barrier in
+      Analysis.Regcsan.on_barrier_arrive s ~thread:t.id ~barrier ~epoch:e;
+      e
+  in
   let all, _reply_wire =
     Desim.Engine.suspendv ~register:(fun ~wake ->
         let arrival = transfer_to t ~dst:mep ~bytes:wire in
@@ -935,29 +993,55 @@ let barrier_wait t barrier =
   if traced t then
     trace t ~tag:"barrier" "t%d barrier=%d notices=%d" t.id barrier
       (List.length all);
+  (match t.e.san with
+   | None -> ()
+   | Some s ->
+     Analysis.Regcsan.on_barrier_depart s ~thread:t.id ~barrier
+       ~epoch:san_epoch);
   apply_writer_notices t all;
   t.m_barriers <- t.m_barriers + 1;
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
 
 let cond_wait t cond lock =
-  mutex_unlock t lock;
-  let start = now t in
   let mgr = t.e.manager in
   let mep = Manager.endpoint mgr in
-  Desim.Engine.suspendv ~register:(fun ~wake ->
-      let arrival = transfer_to t ~dst:mep ~bytes:cond_request_wire in
-      let served =
-        Desim.Resource.reserve (Manager.service mgr) ~now:arrival
-          ~duration:t.e.cfg.Config.manager_service
-      in
-      ignore (served : Desim.Time.t);
-      Manager.cond_wait mgr ~cond ~thread:t.id ~endpoint:t.endpoint
-        ~wake:(fun () -> wake ()));
+  (* POSIX requires releasing the mutex and starting the wait to be one
+     atomic step, so the waiter registers with the manager before the
+     release. Registering after the release's ack round trip (as an
+     earlier version did) leaves a window where another thread can
+     acquire, signal and release while we are still in flight — the
+     signal finds no waiter and the wakeup is lost. The latch handles a
+     signal that lands before we manage to suspend. *)
+  let state = ref `Armed in
+  Manager.cond_wait mgr ~cond ~thread:t.id ~endpoint:t.endpoint
+    ~wake:(fun () ->
+        match !state with
+        | `Suspended wake -> wake ()
+        | _ -> state := `Signalled);
+  mutex_unlock t lock;
+  let start = now t in
+  (match !state with
+   | `Signalled -> ()
+   | _ ->
+     Desim.Engine.suspendv ~register:(fun ~wake ->
+         let arrival = transfer_to t ~dst:mep ~bytes:cond_request_wire in
+         let served =
+           Desim.Resource.reserve (Manager.service mgr) ~now:arrival
+             ~duration:t.e.cfg.Config.manager_service
+         in
+         ignore (served : Desim.Time.t);
+         state := `Suspended wake));
+  (match t.e.san with
+   | None -> ()
+   | Some s -> Analysis.Regcsan.on_cond_wake s ~thread:t.id ~cond);
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start;
   mutex_lock t lock
 
 let cond_wake_op t cond ~broadcast =
   sync_clock t;
+  (match t.e.san with
+   | None -> ()
+   | Some s -> Analysis.Regcsan.on_cond_signal s ~thread:t.id ~cond);
   let start = now t in
   let mgr = t.e.manager in
   let mep = Manager.endpoint mgr in

@@ -32,6 +32,9 @@ type env = {
   servers : Memory_server.t array;
   manager : Manager.t;
   sc : Coherence_sc.t;  (** Directory for the Sc_invalidate model. *)
+  san : Analysis.Regcsan.t option;
+      (** RegCSan access-stream analyzer; [None] (the default) costs one
+          branch per access. *)
 }
 (** Shared runtime a thread plugs into (built by {!System}). *)
 

@@ -22,6 +22,7 @@ type t = {
   manager_jobs : int;
   gas_used : int;
   threads : thread_stats list;
+  san : Analysis.Regcsan.t option;
 }
 
 let of_system sys =
@@ -57,7 +58,8 @@ let of_system sys =
            { t_metrics = Samhita.Metrics.of_ctx ctx;
              t_prefetch_installs = Samhita.Cache.prefetch_installs cache;
              t_dirty_evictions = Samhita.Cache.dirty_evictions cache })
-        (Samhita.System.threads sys) }
+        (Samhita.System.threads sys);
+    san = Samhita.System.sanitizer sys }
 
 let fabric_bytes t = t.net_bytes
 let fabric_messages t = t.net_messages
@@ -80,6 +82,9 @@ let total_hits t =
 let hit_rate t =
   let h = total_hits t and m = total_misses t in
   if h + m = 0 then 1.0 else float_of_int h /. float_of_int (h + m)
+
+let sanitizer_findings t =
+  Option.map Analysis.Regcsan.findings_count t.san
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>== run report ==@,";
@@ -106,4 +111,7 @@ let pp ppf t =
          Samhita.Metrics.pp_thread th.t_metrics th.t_prefetch_installs
          th.t_dirty_evictions)
     t.threads;
+  (match t.san with
+   | None -> ()
+   | Some s -> Format.fprintf ppf "%a@," Analysis.Regcsan.pp_report s);
   Format.fprintf ppf "@]"

@@ -27,3 +27,7 @@ val total_hits : t -> int
 
 val hit_rate : t -> float
 (** Fraction of accesses served by the software caches. *)
+
+val sanitizer_findings : t -> int option
+(** RegCSan finding count, when the run had [Config.sanitize] on. The
+    findings themselves appear in {!pp} output. *)

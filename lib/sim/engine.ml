@@ -36,8 +36,9 @@ let exec_process t name body =
       exnc =
         (fun exn ->
            t.live <- t.live - 1;
-           Trace.emitf t.trace ~time:t.now ~tag:"process"
-             "%s raised %s" name (Printexc.to_string exn);
+           if Trace.enabled t.trace then
+             Trace.emitf t.trace ~time:t.now ~tag:"process"
+               "%s raised %s" name (Printexc.to_string exn);
            raise exn);
       effc =
         (fun (type a) (eff : a Effect.t) ->

@@ -22,7 +22,13 @@ let emit t ~time ~tag message =
     Log_.debug (fun m -> m "[%a] %s: %s" Time.pp time tag message)
 
 let emitf t ~time ~tag fmt =
-  Format.kasprintf (fun s -> emit t ~time ~tag s) fmt
+  (* With the Null sink the format arguments must not be rendered at all:
+     ikfprintf consumes them without formatting, so a disabled trace costs
+     no allocation on hot paths. *)
+  match t.sink with
+  | Null ->
+    Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Record _ | Log -> Format.kasprintf (fun s -> emit t ~time ~tag s) fmt
 
 let events t =
   match t.sink with

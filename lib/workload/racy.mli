@@ -1,0 +1,11 @@
+(** A deliberately buggy two-thread kernel used to validate RegCSan.
+
+    Seeds exactly one instance of each defect class on its own word:
+    a write-write data race, a read of an ordinary store no barrier
+    published, mixed region/ordinary stores to one word, and a
+    use-after-free — all with deterministic ordering, so the analyzer
+    must report exactly four findings every run. *)
+
+val run : ?config:Samhita.Config.t -> unit -> Samhita.System.t
+(** Build, run and return the system. [Config.sanitize] is forced on;
+    query {!Samhita.System.sanitizer} on the result for the findings. *)

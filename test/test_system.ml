@@ -42,6 +42,28 @@ let test_invalid_system () =
      | exception Invalid_argument _ -> true
      | _ -> false)
 
+let test_thread_limit () =
+  (* Sharer/writer sets are thread-id bitmasks: ids must fit 63-bit ints.
+     The cap itself is fine; one more is rejected up front with a message
+     that names both the request and the limit. *)
+  ignore
+    (Samhita.System.create ~threads:Samhita.Config.max_threads ()
+     : Samhita.System.t);
+  match Samhita.System.create ~threads:(Samhita.Config.max_threads + 1) () with
+  | exception Invalid_argument msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool) "message names the limit" true
+      (contains msg (string_of_int Samhita.Config.max_threads));
+    Alcotest.(check bool) "message names the request" true
+      (contains msg (string_of_int (Samhita.Config.max_threads + 1)))
+  | _ -> Alcotest.fail "threads above Config.max_threads must be rejected"
+
 let test_threads_listed_in_order () =
   let sys = Samhita.System.create ~threads:4 () in
   for _ = 1 to 4 do
@@ -135,6 +157,7 @@ let test_mode_names () =
 let tests =
   [ Alcotest.test_case "node layout" `Quick test_node_layout;
     Alcotest.test_case "invalid system" `Quick test_invalid_system;
+    Alcotest.test_case "thread limit" `Quick test_thread_limit;
     Alcotest.test_case "threads in id order" `Quick
       test_threads_listed_in_order;
     Alcotest.test_case "manager bypass layout" `Quick

@@ -4,11 +4,14 @@
 
 module T = Samhita.Thread_ctx
 
+let traced_ids = ref (0, 0) (* (lock, barrier) of the last traced run *)
+
 let run_traced () =
   let trace = Desim.Trace.recording () in
   let sys = Samhita.System.create ~trace ~threads:2 () in
   let m = Samhita.System.mutex sys in
   let bar = Samhita.System.barrier sys ~parties:2 in
+  traced_ids := (m, bar);
   let base = ref 0 in
   for tid = 0 to 1 do
     ignore
@@ -79,6 +82,61 @@ let test_acquire_actions_visible () =
   Alcotest.(check bool) "some acquire patches" true
     (List.exists (fun m -> contains m "patch") acquire_msgs)
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_sync_events_carry_ids () =
+  let trace, _ = run_traced () in
+  let lock, bar = !traced_ids in
+  let events = Desim.Trace.events trace in
+  let with_tag tag =
+    List.filter_map
+      (fun e ->
+         if e.Desim.Trace.tag = tag then Some e.Desim.Trace.message else None)
+      events
+  in
+  (* Every acquire/release names the lock that changed hands; every
+     barrier event names the barrier. The kernel touches exactly one of
+     each, so the traced ids must match what System handed out. *)
+  let check_all tag needle =
+    let msgs = with_tag tag in
+    Alcotest.(check bool) (tag ^ " events present") true (msgs <> []);
+    List.iter
+      (fun m ->
+         Alcotest.(check bool)
+           (Printf.sprintf "%s message %S carries %s" tag m needle)
+           true (contains m needle))
+      msgs
+  in
+  check_all "acquire" (Printf.sprintf "lock=%d" lock);
+  check_all "release" (Printf.sprintf "lock=%d" lock);
+  check_all "barrier" (Printf.sprintf "barrier=%d" bar);
+  (* Both threads contribute two barrier episodes each. *)
+  Alcotest.(check int) "four barrier events" 4
+    (List.length (with_tag "barrier"))
+
+let test_sync_events_monotone_per_tag () =
+  let trace, _ = run_traced () in
+  let events = Desim.Trace.events trace in
+  List.iter
+    (fun tag ->
+       let times =
+         List.filter_map
+           (fun e ->
+              if e.Desim.Trace.tag = tag then Some e.Desim.Trace.time
+              else None)
+           events
+       in
+       let rec monotone = function
+         | a :: (b :: _ as rest) -> Desim.Time.(a <= b) && monotone rest
+         | _ -> true
+       in
+       Alcotest.(check bool) (tag ^ " timestamps monotone") true
+         (monotone times))
+    [ "acquire"; "release"; "barrier" ]
+
 let test_null_trace_records_nothing () =
   let sys = Samhita.System.create ~threads:1 () in
   ignore
@@ -97,6 +155,10 @@ let tests =
       test_events_timestamped_monotone;
     Alcotest.test_case "acquire actions visible" `Quick
       test_acquire_actions_visible;
+    Alcotest.test_case "sync events carry ids" `Quick
+      test_sync_events_carry_ids;
+    Alcotest.test_case "sync timestamps monotone per tag" `Quick
+      test_sync_events_monotone_per_tag;
     Alcotest.test_case "null trace silent" `Quick
       test_null_trace_records_nothing ]
 
