@@ -281,6 +281,95 @@ let md_cmd =
     (Cmd.info "md" ~doc:"Run the molecular-dynamics kernel once")
     Term.(const run $ backend_t $ threads_t $ n_t $ steps_t $ sanitize_t)
 
+(* ---------------- torture ---------------- *)
+
+let torture_cmd =
+  let seeds_t =
+    Arg.(
+      value & opt int 50
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of consecutive seeds to run.")
+  in
+  let base_seed_t =
+    Arg.(
+      value & opt int 1
+      & info [ "base-seed" ] ~docv:"S" ~doc:"First seed of the range.")
+  in
+  let faults_t =
+    let parse s =
+      match Fabric.Faults.level_of_string s with
+      | Ok v -> Ok v
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf v =
+      Format.pp_print_string ppf (Fabric.Faults.level_name v)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Fabric.Faults.High
+      & info [ "faults" ] ~docv:"LEVEL"
+          ~doc:
+            "Fabric fault-injection level: $(b,off), $(b,low), \
+             $(b,medium) or $(b,high).")
+  in
+  let kernel_t =
+    let parse s =
+      match Torture.Runner.kernel_of_string s with
+      | Ok v -> Ok v
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf v =
+      Format.pp_print_string ppf (Torture.Runner.kernel_name v)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Torture.Runner.Micro
+      & info [ "kernel" ] ~docv:"K"
+          ~doc:
+            "Workload to torture: $(b,micro), $(b,jacobi) or $(b,racy).")
+  in
+  let replay_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "replay" ] ~docv:"SEED"
+          ~doc:
+            "Replay one seed verbosely (violations and oracle trace tail) \
+             instead of sweeping; exits 1 if it has violations.")
+  in
+  let run seeds base_seed level kernel replay =
+    match replay with
+    | Some seed ->
+      let o = Torture.Runner.run_one ~kernel ~level ~seed in
+      Format.printf "%a@." Torture.Runner.pp_outcome o;
+      if o.Torture.Runner.o_violations <> [] then exit 1
+    | None ->
+      let s =
+        Torture.Runner.run ~kernel ~level ~seeds ~base_seed ()
+      in
+      Format.printf "%a@." Torture.Runner.pp_summary s;
+      if s.Torture.Runner.s_failures <> [] then begin
+        List.iter
+          (fun o -> Format.printf "%a@." Torture.Runner.pp_outcome o)
+          s.Torture.Runner.s_failures;
+        Format.printf
+          "reproduce any failing seed with: samhita_sim torture --kernel \
+           %s --faults %s --replay <seed>@."
+          (Torture.Runner.kernel_name kernel)
+          (Fabric.Faults.level_name level);
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "torture"
+       ~doc:
+         "Deterministic fault-injection + schedule-fuzzing torture harness: \
+          each seed derives a system geometry, a same-instant event \
+          shuffle and a fabric fault policy, runs a kernel under the \
+          linearizable-memory oracle, checks the result against the \
+          sequential reference, and replays the seed to prove \
+          bit-for-bit determinism")
+    Term.(const run $ seeds_t $ base_seed_t $ faults_t $ kernel_t $ replay_t)
+
 (* ---------------- race ---------------- *)
 
 let race_cmd =
@@ -301,4 +390,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; fig_cmd; micro_cmd; jacobi_cmd; md_cmd; race_cmd ]))
+          [ list_cmd; fig_cmd; micro_cmd; jacobi_cmd; md_cmd; race_cmd;
+            torture_cmd ]))

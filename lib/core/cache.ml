@@ -181,6 +181,10 @@ let dirty_entries t =
   Hashtbl.fold (fun _ e acc -> if is_dirty e then e :: acc else acc) t.table []
   |> List.sort (fun a b -> compare a.line b.line)
 
+let entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
+  |> List.sort (fun a b -> compare a.line b.line)
+
 let clean _t e ~version =
   e.twin <- None;
   e.dirty_pages <- 0;

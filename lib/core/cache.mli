@@ -72,6 +72,11 @@ val dirty_entries : t -> entry list
 (** All entries with dirty pages, ascending line id (deterministic flush
     order). *)
 
+val entries : t -> entry list
+(** Every resident entry, ascending line id (for end-of-run invariant
+    checks: no twin or dirty bits may survive the final consistency
+    point). *)
+
 val clean : t -> entry -> version:int -> unit
 (** After a successful flush: drop twin and dirty bits, record the new home
     version. *)

@@ -23,6 +23,8 @@ type t = {
   fabric : Fabric.Profile.t;
   seed : int;
   sanitize : bool;
+  fault_level : Fabric.Faults.level;
+  shuffle : bool;
 }
 
 (* Sharer and writer sets are thread-id bitmasks in a 63-bit int; one bit
@@ -51,7 +53,9 @@ let default =
     threads_per_node = 8;
     fabric = Fabric.Profile.ib_qdr_verbs;
     seed = 42;
-    sanitize = false }
+    sanitize = false;
+    fault_level = Fabric.Faults.Off;
+    shuffle = false }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -105,13 +109,16 @@ let model_name = function Regc -> "regc" | Sc_invalidate -> "sc-invalidate"
 let pp ppf t =
   Format.fprintf ppf
     "@[<v>model=%s page=%dB line=%dpages cache=%dlines prefetch=%b dirty-first=%b sanitize=%b@ \
+     torture: faults=%s shuffle=%b seed=%d@ \
      alloc: small<=%d large>%d arena=%d stripe=%d@ \
      regc: history=%d bypass=%b@ \
      cost: mem=%.2fns flop=%.2fns server=%a manager=%a diff=%.3fns/B@ \
      layout: %d server(s), %d threads/node, %s@]"
     (model_name t.model)
     t.page_bytes t.pages_per_line t.cache_lines t.prefetch
-    t.evict_dirty_first t.sanitize t.small_threshold t.large_threshold
+    t.evict_dirty_first t.sanitize
+    (Fabric.Faults.level_name t.fault_level)
+    t.shuffle t.seed t.small_threshold t.large_threshold
     t.arena_chunk_bytes t.stripe_lines t.update_log_history t.manager_bypass
     t.t_mem t.t_flop Desim.Time.pp_span t.server_service Desim.Time.pp_span
     t.manager_service t.diff_apply_ns_per_byte t.memory_servers

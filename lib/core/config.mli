@@ -61,6 +61,16 @@ type t = {
           all reads, writes, allocations and sync edges stream into a
           happens-before race detector and RegC-conformance linter. Off by
           default; when off the runtime pays a single branch per access. *)
+  fault_level : Fabric.Faults.level;
+      (** Fabric fault injection (torture harness): jitter, cross-pair
+          reordering and bounded transient drops, all seeded from [seed].
+          [Off] by default — no policy is attached and the fabric is
+          byte-exact with the seed build. *)
+  shuffle : bool;
+      (** Schedule fuzzing (torture harness): permute same-instant event
+          order in the engine with a tie-break seeded from [seed], instead
+          of the default FIFO. One [(seed, shuffle)] pair is one fully
+          deterministic, replayable schedule. *)
 }
 
 val default : t

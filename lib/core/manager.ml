@@ -205,8 +205,10 @@ let lock_release t ~now ~lock ~thread ~log ~line_versions =
     st.holder <- Some w.w_thread;
     let g = grant_for t st ~last_seen:w.w_last_seen in
     let net = Fabric.Scl.network t.endpoint in
+    (* Grant pushes ride the retrying primitive: a dropped push would
+       otherwise strand the new holder forever. *)
     let arrival =
-      Fabric.Network.transfer net ~now
+      Fabric.Scl.reliable_transfer net ~now
         ~src:(Fabric.Scl.node t.endpoint)
         ~dst:(Fabric.Scl.node w.w_endpoint)
         ~bytes:g.wire_bytes
@@ -261,7 +263,7 @@ let barrier_arrive t ~now ~barrier ~thread ~lines ~endpoint ~wake =
     List.iter
       (fun w ->
          let arrival =
-           Fabric.Network.transfer net ~now
+           Fabric.Scl.reliable_transfer net ~now
              ~src:(Fabric.Scl.node t.endpoint)
              ~dst:(Fabric.Scl.node w.b_endpoint)
              ~bytes:wire
@@ -298,7 +300,7 @@ let cond_wait t ~cond ~thread:_ ~endpoint ~wake =
 let wake_one t ~now w =
   let net = Fabric.Scl.network t.endpoint in
   let arrival =
-    Fabric.Network.transfer net ~now
+    Fabric.Scl.reliable_transfer net ~now
       ~src:(Fabric.Scl.node t.endpoint)
       ~dst:(Fabric.Scl.node w.c_endpoint)
       ~bytes:ack_wire

@@ -58,6 +58,27 @@ let of_system sys =
     ~wall_ns:(Desim.Time.to_ns (System.elapsed sys))
     (List.map of_ctx (System.threads sys))
 
+type faults = {
+  delayed : int;
+  reordered : int;
+  dropped : int;
+  retried : int;
+}
+
+let faults_of_system sys =
+  match Fabric.Network.faults (System.network sys) with
+  | None -> None
+  | Some f ->
+    Some
+      { delayed = Fabric.Faults.messages_delayed f;
+        reordered = Fabric.Faults.messages_reordered f;
+        dropped = Fabric.Faults.messages_dropped f;
+        retried = Fabric.Faults.messages_retried f }
+
+let pp_faults ppf f =
+  Format.fprintf ppf "faults: delayed=%d reordered=%d dropped=%d retried=%d"
+    f.delayed f.reordered f.dropped f.retried
+
 let pp_thread ppf t =
   Format.fprintf ppf
     "t%d: compute=%a sync=%a alloc=%a hits=%d misses=%d evict=%d inval=%d \

@@ -33,5 +33,19 @@ val aggregate : wall_ns:int -> thread list -> aggregate
 val of_system : System.t -> aggregate
 (** Convenience: collect every spawned thread after {!System.run}. *)
 
+(** Fabric fault-injection counters ({!Fabric.Faults}): messages the
+    policy perturbed, and retransmissions the SCL retry layer issued. *)
+type faults = {
+  delayed : int;  (** Messages given latency jitter. *)
+  reordered : int;  (** Messages given a reorder-scale extra delay. *)
+  dropped : int;  (** Messages dropped in flight (later retried). *)
+  retried : int;  (** Retransmissions issued by {!Fabric.Scl}. *)
+}
+
+val faults_of_system : System.t -> faults option
+(** [None] when the run had no fault policy attached
+    ([Config.fault_level = Off]). *)
+
 val pp_thread : Format.formatter -> thread -> unit
 val pp_aggregate : Format.formatter -> aggregate -> unit
+val pp_faults : Format.formatter -> faults -> unit

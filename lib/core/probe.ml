@@ -1,0 +1,33 @@
+type sync_op =
+  | Lock_acquired of int
+  | Unlock of int
+  | Cond_signal of int
+  | Cond_wake of int
+
+type t = {
+  on_read :
+    thread:int -> time:Desim.Time.t -> addr:int -> len:int ->
+    value:int64 option -> unit;
+  on_write :
+    thread:int -> time:Desim.Time.t -> addr:int -> len:int ->
+    value:int64 option -> unit;
+  on_publish :
+    thread:int -> time:Desim.Time.t -> server:int -> line:int ->
+    version:int -> data:bytes -> unit;
+  on_malloc : thread:int -> time:Desim.Time.t -> addr:int -> bytes:int -> unit;
+  on_free : thread:int -> time:Desim.Time.t -> addr:int -> bytes:int -> unit;
+  on_barrier :
+    thread:int -> time:Desim.Time.t -> barrier:int -> epoch:int ->
+    phase:[ `Arrive | `Depart ] -> unit;
+  on_sync : thread:int -> time:Desim.Time.t -> op:sync_op -> unit;
+}
+
+let nothing =
+  { on_read = (fun ~thread:_ ~time:_ ~addr:_ ~len:_ ~value:_ -> ());
+    on_write = (fun ~thread:_ ~time:_ ~addr:_ ~len:_ ~value:_ -> ());
+    on_publish =
+      (fun ~thread:_ ~time:_ ~server:_ ~line:_ ~version:_ ~data:_ -> ());
+    on_malloc = (fun ~thread:_ ~time:_ ~addr:_ ~bytes:_ -> ());
+    on_free = (fun ~thread:_ ~time:_ ~addr:_ ~bytes:_ -> ());
+    on_barrier = (fun ~thread:_ ~time:_ ~barrier:_ ~epoch:_ ~phase:_ -> ());
+    on_sync = (fun ~thread:_ ~time:_ ~op:_ -> ()) }

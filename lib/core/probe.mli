@@ -1,0 +1,47 @@
+(** A protocol-event observer attachable to a running system
+    ({!System.set_probe}).
+
+    The torture harness's linearizable-memory oracle subscribes through
+    this record: the runtime reports every global-memory access (with the
+    value for 8-byte word accesses), every {e publication} — a home-side
+    merge of a flushed diff or update log, the instant a value becomes
+    RegC-visible to other threads — every allocation event, every barrier
+    episode and every lock/condvar edge.
+
+    Callbacks run synchronously inside the emitting thread's process, in
+    deterministic simulation order, so an event stream is replayable and
+    hashable. [data] buffers passed to [on_publish] are {e borrowed} (the
+    home's live line) — copy before retaining. With no probe attached the
+    runtime pays one branch per event site. *)
+
+type sync_op =
+  | Lock_acquired of int
+  | Unlock of int
+  | Cond_signal of int
+  | Cond_wake of int
+
+type t = {
+  on_read :
+    thread:int -> time:Desim.Time.t -> addr:int -> len:int ->
+    value:int64 option -> unit;
+      (** [value] is [Some] for aligned 8-byte accesses, [None] for bulk
+          or sub-word reads. *)
+  on_write :
+    thread:int -> time:Desim.Time.t -> addr:int -> len:int ->
+    value:int64 option -> unit;
+  on_publish :
+    thread:int -> time:Desim.Time.t -> server:int -> line:int ->
+    version:int -> data:bytes -> unit;
+      (** The home server's line [line] now holds [data] (borrowed) at
+          [version], after merging a diff or update log flushed by
+          [thread]. *)
+  on_malloc : thread:int -> time:Desim.Time.t -> addr:int -> bytes:int -> unit;
+  on_free : thread:int -> time:Desim.Time.t -> addr:int -> bytes:int -> unit;
+  on_barrier :
+    thread:int -> time:Desim.Time.t -> barrier:int -> epoch:int ->
+    phase:[ `Arrive | `Depart ] -> unit;
+  on_sync : thread:int -> time:Desim.Time.t -> op:sync_op -> unit;
+}
+
+val nothing : t
+(** Every callback a no-op; build probes with [{ nothing with ... }]. *)

@@ -11,6 +11,7 @@ type t = {
   first_compute_node : int;
   mutable threads_rev : Thread_ctx.t list;
   mutable next_thread : int;
+  mutable probe : Probe.t option;
 }
 
 let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
@@ -24,13 +25,25 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
          "System.create: %d threads requested but at most %d are supported \
           (thread ids must fit the sharer/writer bitmasks)"
          threads Config.max_threads);
-  let engine = Desim.Engine.create ~trace () in
+  let tie_break =
+    if config.Config.shuffle then
+      Some (Desim.Engine.shuffle_tie_break ~seed:config.Config.seed)
+    else None
+  in
+  let engine = Desim.Engine.create ~trace ?tie_break () in
   let ms = config.Config.memory_servers in
   let tpn = config.Config.threads_per_node in
   let compute_nodes = (threads + tpn - 1) / tpn in
   let node_count = 1 + ms + compute_nodes in
+  let faults =
+    match config.Config.fault_level with
+    | Fabric.Faults.Off -> None
+    | level ->
+      Some (Fabric.Faults.create ~seed:config.Config.seed ~level)
+  in
   let network =
-    Fabric.Network.create engine ~profile:config.Config.fabric ~node_count
+    Fabric.Network.create ?faults engine ~profile:config.Config.fabric
+      ~node_count
   in
   let layout = Layout.of_config config in
   let first_compute_node = 1 + ms in
@@ -63,7 +76,8 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
     total_threads = threads;
     first_compute_node;
     threads_rev = [];
-    next_thread = 0 }
+    next_thread = 0;
+    probe = None }
 
 let config t = t.cfg
 let layout t = t.layout
@@ -73,6 +87,13 @@ let manager t = t.manager
 let servers t = t.servers
 let total_threads t = t.total_threads
 let sanitizer t = t.san
+
+let set_probe t probe =
+  if t.next_thread > 0 then
+    invalid_arg "System.set_probe: attach the probe before spawning threads";
+  t.probe <- Some probe
+
+let probe t = t.probe
 
 let mutex t = Manager.lock_create t.manager
 let barrier t ~parties = Manager.barrier_create t.manager ~parties
@@ -86,7 +107,8 @@ let env t : Thread_ctx.env =
     servers = t.servers;
     manager = t.manager;
     sc = t.sc;
-    san = t.san }
+    san = t.san;
+    probe = t.probe }
 
 let spawn t body =
   if t.next_thread >= t.total_threads then

@@ -29,6 +29,13 @@ val sanitizer : t -> Analysis.Regcsan.t option
 (** The RegCSan instance observing this system, when
     [Config.sanitize] is set. Query it after {!run} for findings. *)
 
+val set_probe : t -> Probe.t -> unit
+(** Attach a protocol-event observer ({!Probe.t}); the torture oracle
+    subscribes through this. Must be called before the first {!spawn}
+    (raises [Invalid_argument] otherwise) so every thread sees it. *)
+
+val probe : t -> Probe.t option
+
 val mutex : t -> Manager.lock_id
 (** Create a mutex (setup-time operation; no simulated cost). *)
 

@@ -8,6 +8,8 @@ type env = {
   sc : Coherence_sc.t;  (** Directory for the Sc_invalidate model. *)
   san : Analysis.Regcsan.t option;
       (** RegCSan access-stream analyzer ([Config.sanitize]). *)
+  probe : Probe.t option;
+      (** Protocol-event observer (torture oracle); see {!Probe}. *)
 }
 
 type t = {
@@ -110,13 +112,17 @@ let charge_flops t n = charge t (float_of_int n *. t.e.cfg.Config.t_flop)
 let server_of t line =
   t.e.servers.(Home.server_of_line t.e.cfg ~line)
 
+(* Request/reply legs ride the retrying primitive: under fault injection a
+   dropped message costs a timeout + backoff and is resent, so every RPC
+   below keeps its exactly-once semantics (state mutates only after the
+   full round trip lands). Fault-free, this is Network.transfer verbatim. *)
 let transfer_to t ~dst ~bytes =
-  Fabric.Network.transfer t.e.network ~now:(now t)
+  Fabric.Scl.reliable_transfer t.e.network ~now:(now t)
     ~src:(Fabric.Scl.node t.endpoint) ~dst:(Fabric.Scl.node dst) ~bytes
 
 let transfer_from t ~src ~at ~bytes =
-  Fabric.Network.transfer t.e.network ~now:at ~src:(Fabric.Scl.node src)
-    ~dst:(Fabric.Scl.node t.endpoint) ~bytes
+  Fabric.Scl.reliable_transfer t.e.network ~now:at
+    ~src:(Fabric.Scl.node src) ~dst:(Fabric.Scl.node t.endpoint) ~bytes
 
 let delay_until t instant =
   Desim.Engine.delay (Desim.Time.diff instant (now t))
@@ -143,6 +149,35 @@ let san_write t ~addr ~len =
   | Some s ->
     let lock = match t.held with (l, _) :: _ -> l | [] -> -1 in
     Analysis.Regcsan.on_write s ~thread:t.id ~time:(now t) ~addr ~len ~lock
+
+(* Probe hooks follow the same discipline: one branch per event site when
+   no observer is attached. *)
+
+let probe_read t ~addr ~len ~value =
+  match t.e.probe with
+  | None -> ()
+  | Some p -> p.Probe.on_read ~thread:t.id ~time:(now t) ~addr ~len ~value
+
+let probe_write t ~addr ~len ~value =
+  match t.e.probe with
+  | None -> ()
+  | Some p -> p.Probe.on_write ~thread:t.id ~time:(now t) ~addr ~len ~value
+
+(* Publication: the home's line now holds the merged bytes at [version];
+   this is the instant the data becomes RegC-visible to later acquirers
+   and barrier crossers. The buffer is borrowed (the server's live line). *)
+let probe_publish t ~srv ~line ~version =
+  match t.e.probe with
+  | None -> ()
+  | Some p ->
+    p.Probe.on_publish ~thread:t.id ~time:(now t)
+      ~server:(Memory_server.id srv) ~line ~version
+      ~data:(Memory_server.line srv line)
+
+let probe_sync t op =
+  match t.e.probe with
+  | None -> ()
+  | Some p -> p.Probe.on_sync ~thread:t.id ~time:(now t) ~op
 
 let forget_last t (e : Cache.entry) =
   match t.last with
@@ -176,6 +211,7 @@ let flush_entry t (entry : Cache.entry) =
       let reply = transfer_from t ~src:sep ~at:served ~bytes:diff_reply_wire in
       delay_until t reply;
       let v = Memory_server.apply_diff srv diff in
+      probe_publish t ~srv ~line:entry.Cache.line ~version:v;
       if traced t then
         trace t ~tag:"flush" "t%d line=%d bytes=%d v=%d (eviction)" t.id
           entry.Cache.line (Diff.payload_bytes diff) v;
@@ -236,6 +272,7 @@ let flush_dirty_all t =
          List.map
            (fun ((entry : Cache.entry), diff) ->
               let v = Memory_server.apply_diff srv diff in
+              probe_publish t ~srv ~line:entry.Cache.line ~version:v;
               Hashtbl.replace t.interval_writes entry.Cache.line ();
               Cache.clean t.cache entry ~version:v;
               (entry.Cache.line, v))
@@ -568,11 +605,14 @@ let read_i64 t addr =
   check_aligned addr;
   let entry, off = locate t addr in
   san_read t ~addr ~len:8;
-  Bytes.get_int64_le entry.Cache.data off
+  let v = Bytes.get_int64_le entry.Cache.data off in
+  probe_read t ~addr ~len:8 ~value:(Some v);
+  v
 
 let write_i64 t addr v =
   check_aligned addr;
   san_write t ~addr ~len:8;
+  probe_write t ~addr ~len:8 ~value:(Some v);
   match t.e.cfg.Config.model with
   | Config.Sc_invalidate ->
     sc_store t addr ~store:(fun (e : Cache.entry) off ->
@@ -607,7 +647,10 @@ let charge_extra_words t seg =
 
 let write_bytes t addr src =
   let len = Bytes.length src in
-  if len > 0 then san_write t ~addr ~len;
+  if len > 0 then begin
+    san_write t ~addr ~len;
+    probe_write t ~addr ~len ~value:None
+  end;
   let pos = ref 0 in
   while !pos < len do
     let a = addr + !pos in
@@ -637,7 +680,10 @@ let write_bytes t addr src =
 
 let read_bytes t addr ~len =
   if len < 0 then invalid_arg "Samhita.read_bytes: negative length";
-  if len > 0 then san_read t ~addr ~len;
+  if len > 0 then begin
+    san_read t ~addr ~len;
+    probe_read t ~addr ~len ~value:None
+  end;
   let out = Bytes.create len in
   let pos = ref 0 in
   while !pos < len do
@@ -653,6 +699,7 @@ let read_bytes t addr ~len =
 let read_u8 t addr =
   let entry, off = locate t addr in
   san_read t ~addr ~len:1;
+  probe_read t ~addr ~len:1 ~value:None;
   Char.code (Bytes.get entry.Cache.data off)
 
 let write_u8 t addr v =
@@ -668,6 +715,7 @@ let read_i32 t addr =
   check_aligned4 addr;
   let entry, off = locate t addr in
   san_read t ~addr ~len:4;
+  probe_read t ~addr ~len:4 ~value:None;
   Bytes.get_int32_le entry.Cache.data off
 
 let write_i32 t addr v =
@@ -728,6 +776,9 @@ let malloc t ~bytes =
    | None -> ()
    | Some s ->
      Analysis.Regcsan.on_malloc s ~thread:t.id ~time:(now t) ~addr ~bytes);
+  (match t.e.probe with
+   | None -> ()
+   | Some p -> p.Probe.on_malloc ~thread:t.id ~time:(now t) ~addr ~bytes);
   addr
 
 let free t ~addr ~bytes =
@@ -735,6 +786,11 @@ let free t ~addr ~bytes =
    | None -> ()
    | Some s when bytes > 0 ->
      Analysis.Regcsan.on_free s ~thread:t.id ~time:(now t) ~addr ~bytes
+   | Some _ -> ());
+  (match t.e.probe with
+   | None -> ()
+   | Some p when bytes > 0 ->
+     p.Probe.on_free ~thread:t.id ~time:(now t) ~addr ~bytes
    | Some _ -> ());
   if bytes > 0 && bytes <= t.e.cfg.Config.small_threshold then
     Allocator.Arena.free t.arena ~addr ~bytes
@@ -850,6 +906,7 @@ let flush_update_log t log =
            (fun u ->
               List.iter
                 (fun (line, v) ->
+                   probe_publish t ~srv ~line ~version:v;
                    Hashtbl.replace merged line v;
                    (* Our own cached copy already holds the stored values;
                       track the new home version so barrier notices do not
@@ -917,6 +974,7 @@ let mutex_lock t lock =
   (match t.e.san with
    | None -> ()
    | Some s -> Analysis.Regcsan.on_lock_acquired s ~thread:t.id ~lock);
+  probe_sync t (Probe.Lock_acquired lock);
   t.held <- (lock, ref []) :: t.held;
   t.m_locks <- t.m_locks + 1;
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
@@ -952,6 +1010,7 @@ let mutex_unlock t lock =
   Hashtbl.replace t.lock_seen lock (Manager.lock_version mgr lock);
   let reply = transfer_from t ~src:mep ~at:served ~bytes:Manager.ack_wire in
   delay_until t reply;
+  probe_sync t (Probe.Unlock lock);
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
 
 let barrier_wait t barrier =
@@ -965,14 +1024,19 @@ let barrier_wait t barrier =
   let wire = barrier_arrive_overhead + (8 * List.length lines) in
   (* The manager bumps the epoch when it releases the barrier, so every
      participant captures the same epoch number before arriving. *)
-  let san_epoch =
-    match t.e.san with
-    | None -> -1
-    | Some s ->
-      let e = Manager.barrier_epoch mgr barrier in
-      Analysis.Regcsan.on_barrier_arrive s ~thread:t.id ~barrier ~epoch:e;
-      e
+  let epoch =
+    if t.e.san = None && t.e.probe = None then -1
+    else Manager.barrier_epoch mgr barrier
   in
+  (match t.e.san with
+   | None -> ()
+   | Some s ->
+     Analysis.Regcsan.on_barrier_arrive s ~thread:t.id ~barrier ~epoch);
+  (match t.e.probe with
+   | None -> ()
+   | Some p ->
+     p.Probe.on_barrier ~thread:t.id ~time:(now t) ~barrier ~epoch
+       ~phase:`Arrive);
   let all, _reply_wire =
     Desim.Engine.suspendv ~register:(fun ~wake ->
         let arrival = transfer_to t ~dst:mep ~bytes:wire in
@@ -996,8 +1060,12 @@ let barrier_wait t barrier =
   (match t.e.san with
    | None -> ()
    | Some s ->
-     Analysis.Regcsan.on_barrier_depart s ~thread:t.id ~barrier
-       ~epoch:san_epoch);
+     Analysis.Regcsan.on_barrier_depart s ~thread:t.id ~barrier ~epoch);
+  (match t.e.probe with
+   | None -> ()
+   | Some p ->
+     p.Probe.on_barrier ~thread:t.id ~time:(now t) ~barrier ~epoch
+       ~phase:`Depart);
   apply_writer_notices t all;
   t.m_barriers <- t.m_barriers + 1;
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
@@ -1034,6 +1102,7 @@ let cond_wait t cond lock =
   (match t.e.san with
    | None -> ()
    | Some s -> Analysis.Regcsan.on_cond_wake s ~thread:t.id ~cond);
+  probe_sync t (Probe.Cond_wake cond);
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start;
   mutex_lock t lock
 
@@ -1042,6 +1111,7 @@ let cond_wake_op t cond ~broadcast =
   (match t.e.san with
    | None -> ()
    | Some s -> Analysis.Regcsan.on_cond_signal s ~thread:t.id ~cond);
+  probe_sync t (Probe.Cond_signal cond);
   let start = now t in
   let mgr = t.e.manager in
   let mep = Manager.endpoint mgr in

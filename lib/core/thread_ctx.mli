@@ -35,6 +35,9 @@ type env = {
   san : Analysis.Regcsan.t option;
       (** RegCSan access-stream analyzer; [None] (the default) costs one
           branch per access. *)
+  probe : Probe.t option;
+      (** Protocol-event observer (torture oracle); [None] (the default)
+          costs one branch per event site. *)
 }
 (** Shared runtime a thread plugs into (built by {!System}). *)
 

@@ -1,0 +1,118 @@
+type level = Off | Low | Medium | High
+
+let level_name = function
+  | Off -> "off"
+  | Low -> "low"
+  | Medium -> "medium"
+  | High -> "high"
+
+let level_of_string = function
+  | "off" | "none" -> Ok Off
+  | "low" -> Ok Low
+  | "medium" | "med" -> Ok Medium
+  | "high" -> Ok High
+  | s -> Error (Printf.sprintf "unknown fault level %S" s)
+
+(* Per-level perturbation intensities. Jitter models per-message service
+   variation (sub-RTT); reorder-scale delays are several RTTs, long enough
+   that messages on other (src,dst) pairs overtake; drops are transient
+   losses, bounded per pair so retry always converges. *)
+type params = {
+  jitter_p : float;
+  jitter_max : int;  (* ns *)
+  reorder_p : float;
+  reorder_max : int;  (* ns *)
+  drop_p : float;
+  max_consecutive_drops : int;
+}
+
+let params_of_level = function
+  | Off ->
+    { jitter_p = 0.; jitter_max = 0; reorder_p = 0.; reorder_max = 0;
+      drop_p = 0.; max_consecutive_drops = 0 }
+  | Low ->
+    { jitter_p = 0.2; jitter_max = 400; reorder_p = 0.02;
+      reorder_max = 4_000; drop_p = 0.005; max_consecutive_drops = 1 }
+  | Medium ->
+    { jitter_p = 0.5; jitter_max = 1_500; reorder_p = 0.08;
+      reorder_max = 12_000; drop_p = 0.02; max_consecutive_drops = 2 }
+  | High ->
+    { jitter_p = 0.8; jitter_max = 4_000; reorder_p = 0.2;
+      reorder_max = 30_000; drop_p = 0.08; max_consecutive_drops = 3 }
+
+type t = {
+  level : level;
+  p : params;
+  rng : Desim.Rng.t;
+  (* Delivery-order floor per (src,dst): the fabric reorders traffic only
+     across distinct pairs (differential jitter); within one pair it
+     delivers in order, like a reliable-connection QP. *)
+  last_arrival : (int * int, Desim.Time.t) Hashtbl.t;
+  (* Consecutive drops per (src,dst); capped so losses stay transient. *)
+  drops_in_row : (int * int, int) Hashtbl.t;
+  mutable delayed : int;
+  mutable reordered : int;
+  mutable dropped : int;
+  mutable retried : int;
+}
+
+let create ~seed ~level =
+  { level;
+    p = params_of_level level;
+    rng = Desim.Rng.create ~seed;
+    last_arrival = Hashtbl.create 64;
+    drops_in_row = Hashtbl.create 64;
+    delayed = 0;
+    reordered = 0;
+    dropped = 0;
+    retried = 0 }
+
+let level t = t.level
+
+let should_drop t ~src ~dst =
+  if t.p.drop_p = 0. then false
+  else begin
+    let key = (src, dst) in
+    let row = Option.value (Hashtbl.find_opt t.drops_in_row key) ~default:0 in
+    if row >= t.p.max_consecutive_drops then false
+    else if Desim.Rng.float t.rng 1.0 < t.p.drop_p then begin
+      Hashtbl.replace t.drops_in_row key (row + 1);
+      t.dropped <- t.dropped + 1;
+      true
+    end
+    else false
+  end
+
+let perturb t ~src ~dst ~arrival =
+  let key = (src, dst) in
+  Hashtbl.remove t.drops_in_row key;
+  let extra = ref 0 in
+  if t.p.jitter_p > 0. && Desim.Rng.float t.rng 1.0 < t.p.jitter_p then begin
+    extra := !extra + 1 + Desim.Rng.int t.rng t.p.jitter_max;
+    t.delayed <- t.delayed + 1
+  end;
+  if t.p.reorder_p > 0. && Desim.Rng.float t.rng 1.0 < t.p.reorder_p
+  then begin
+    extra := !extra + 1 + Desim.Rng.int t.rng t.p.reorder_max;
+    t.reordered <- t.reordered + 1
+  end;
+  let arrival = Desim.Time.add arrival !extra in
+  let arrival =
+    match Hashtbl.find_opt t.last_arrival key with
+    | Some floor when Desim.Time.( <= ) arrival floor ->
+      Desim.Time.add floor 1
+    | _ -> arrival
+  in
+  Hashtbl.replace t.last_arrival key arrival;
+  arrival
+
+let note_retry t = t.retried <- t.retried + 1
+
+let messages_delayed t = t.delayed
+let messages_reordered t = t.reordered
+let messages_dropped t = t.dropped
+let messages_retried t = t.retried
+
+let pp ppf t =
+  Format.fprintf ppf "faults=%s delayed=%d reordered=%d dropped=%d retried=%d"
+    (level_name t.level) t.delayed t.reordered t.dropped t.retried

@@ -1,0 +1,49 @@
+(** Seeded fabric fault injection for the torture harness.
+
+    A policy attached to a {!Network} perturbs message timing and injects
+    transient losses, all driven by one {!Desim.Rng} stream so a run is a
+    pure function of its seed:
+
+    - {b jitter}: per-message extra latency, sub-RTT scale;
+    - {b reorder}: occasional multi-RTT delays, long enough that traffic
+      on {e other} (src,dst) pairs overtakes. Within one pair delivery
+      order is preserved (clamped monotonic), matching a
+      reliable-connection QP — RegC never depends on cross-pair order;
+    - {b drop}: transient losses, bounded to at most
+      [max_consecutive_drops] in a row per (src,dst) pair, so the
+      retry/timeout/backoff loop in {!Scl.reliable_transfer} always
+      terminates.
+
+    Counters record what was injected; {!Samhita.Metrics} and
+    [Harness.Report] surface them. *)
+
+type level = Off | Low | Medium | High
+
+val level_name : level -> string
+val level_of_string : string -> (level, string) result
+
+type t
+
+val create : seed:int -> level:level -> t
+val level : t -> level
+
+val should_drop : t -> src:int -> dst:int -> bool
+(** Decide (one RNG draw when the level drops at all) whether this
+    transmission is lost. Tracks per-pair consecutive drops and refuses to
+    exceed the level's bound. *)
+
+val perturb : t -> src:int -> dst:int -> arrival:Desim.Time.t -> Desim.Time.t
+(** Jitter/reorder a delivered message's arrival instant and clamp it to
+    the pair's delivery-order floor. Also resets the pair's
+    consecutive-drop budget. *)
+
+val note_retry : t -> unit
+(** A sender retransmitted after a timeout (called by
+    {!Scl.reliable_transfer}). *)
+
+val messages_delayed : t -> int
+val messages_reordered : t -> int
+val messages_dropped : t -> int
+val messages_retried : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -5,6 +5,7 @@ type t = {
   profile : Profile.t;
   tx : Link.t array;
   rx : Link.t array;
+  faults : Faults.t option;
   mutable messages : int;
   mutable bytes : int;
 }
@@ -12,7 +13,7 @@ type t = {
 (* Intra-node copies bypass the fabric: charge memcpy bandwidth. *)
 let loopback_bandwidth = 20.0e9
 
-let create engine ~profile ~node_count =
+let create ?faults engine ~profile ~node_count =
   if node_count <= 0 then invalid_arg "Network.create: node_count";
   let open Profile in
   let mk_tx i =
@@ -34,11 +35,13 @@ let create engine ~profile ~node_count =
     profile;
     tx = Array.init node_count mk_tx;
     rx = Array.init node_count mk_rx;
+    faults;
     messages = 0;
     bytes = 0 }
 
 let engine t = t.engine
 let profile t = t.profile
+let faults t = t.faults
 let node_count t = Array.length t.tx
 
 let check_node t n =
@@ -53,6 +56,7 @@ let transfer t ~now ~src ~dst ~bytes =
   let wire_bytes = bytes + t.profile.Profile.header_bytes in
   let start = Desim.Time.add now t.profile.Profile.post_overhead in
   if src = dst then
+    (* Loopbacks never cross the fabric, so faults do not apply. *)
     let copy =
       Desim.Time.span_of_float_ns
         (float_of_int bytes /. loopback_bandwidth *. 1e9)
@@ -60,7 +64,29 @@ let transfer t ~now ~src ~dst ~bytes =
     Desim.Time.add start copy
   else
     let at_switch = Link.occupy t.tx.(src) ~now:start ~bytes:wire_bytes in
-    Link.occupy t.rx.(dst) ~now:at_switch ~bytes:wire_bytes
+    let arrival = Link.occupy t.rx.(dst) ~now:at_switch ~bytes:wire_bytes in
+    match t.faults with
+    | None -> arrival
+    | Some f -> Faults.perturb f ~src ~dst ~arrival
+
+(* A transfer that may be lost in the fabric. A dropped message still paid
+   the post overhead and occupied the injection port (it left the sender
+   and died in flight); it never reaches the receive port. Loopbacks and
+   fault-free networks always deliver. *)
+let try_transfer t ~now ~src ~dst ~bytes =
+  match t.faults with
+  | Some f when src <> dst && Faults.should_drop f ~src ~dst ->
+    check_node t src;
+    check_node t dst;
+    if bytes < 0 then invalid_arg "Network.try_transfer: negative size";
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + bytes;
+    let wire_bytes = bytes + t.profile.Profile.header_bytes in
+    let start = Desim.Time.add now t.profile.Profile.post_overhead in
+    ignore (Link.occupy t.tx.(src) ~now:start ~bytes:wire_bytes
+            : Desim.Time.t);
+    `Dropped
+  | _ -> `Delivered (transfer t ~now ~src ~dst ~bytes)
 
 let one_way_estimate t ~bytes =
   let open Profile in

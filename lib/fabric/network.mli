@@ -10,10 +10,17 @@ type node = int
 
 type t
 
-val create : Desim.Engine.t -> profile:Profile.t -> node_count:int -> t
+val create :
+  ?faults:Faults.t -> Desim.Engine.t -> profile:Profile.t ->
+  node_count:int -> t
+(** [faults] attaches a fault-injection policy: every non-loopback
+    {!transfer} is jittered/reordered by it, and {!try_transfer} may drop. *)
+
 val engine : t -> Desim.Engine.t
 val profile : t -> Profile.t
 val node_count : t -> int
+
+val faults : t -> Faults.t option
 
 val transfer :
   t -> now:Desim.Time.t -> src:node -> dst:node -> bytes:int -> Desim.Time.t
@@ -22,6 +29,15 @@ val transfer :
     post overhead, per-message header bytes, queueing on both ports and
     propagation latency. A loopback ([src = dst]) models an intra-node copy:
     post overhead plus memcpy bandwidth, no fabric crossing. *)
+
+val try_transfer :
+  t -> now:Desim.Time.t -> src:node -> dst:node -> bytes:int ->
+  [ `Delivered of Desim.Time.t | `Dropped ]
+(** Like {!transfer}, but subject to the fault policy's transient drops.
+    [`Dropped] means the message occupied the injection port and was lost;
+    the sender must time out and retransmit ({!Scl.reliable_transfer}).
+    Without an attached {!Faults.t} (and on loopbacks) this always
+    delivers. *)
 
 val one_way_estimate : t -> bytes:int -> Desim.Time.span
 (** Uncontended transfer time for a message of this size (for tests and

@@ -12,25 +12,54 @@ let block_until e t =
   let now = Desim.Engine.now (engine e) in
   Desim.Engine.delay (Desim.Time.diff t now)
 
+(* Retransmission policy: the timeout starts at roughly one uncontended
+   round trip for the message size and doubles per attempt (capped), the
+   classic go-back retry. Faults bound consecutive drops per (src,dst)
+   pair, so the loop always terminates. *)
+let retry_slack = 2_000 (* ns of timer/completion-queue processing *)
+let max_backoff_shift = 4
+
+let retry_timeout net ~bytes ~attempt =
+  let rtt = 2 * Network.one_way_estimate net ~bytes + retry_slack in
+  rtt lsl min attempt max_backoff_shift
+
+let reliable_transfer net ~now ~src ~dst ~bytes =
+  match Network.faults net with
+  | None -> Network.transfer net ~now ~src ~dst ~bytes
+  | Some f ->
+    let rec go attempt now =
+      match Network.try_transfer net ~now ~src ~dst ~bytes with
+      | `Delivered at -> at
+      | `Dropped ->
+        Faults.note_retry f;
+        go (attempt + 1)
+          (Desim.Time.add now (retry_timeout net ~bytes ~attempt))
+    in
+    go 0 now
+
 (* Arrival time of a one-way transfer initiated now. *)
 let one_way ~src ~dst ~bytes =
   let now = Desim.Engine.now (engine src) in
-  Network.transfer src.net ~now ~src:src.node ~dst:dst.node ~bytes
+  reliable_transfer src.net ~now ~src:src.node ~dst:dst.node ~bytes
 
 let serve ?service ?(service_time = 0) ~at () =
   match service with
   | None -> Desim.Time.add at service_time
   | Some r -> Desim.Resource.reserve r ~now:at ~duration:service_time
 
-(* Completion time of a round trip whose request enters the fabric now. *)
+(* Completion time of a round trip whose request enters the fabric now.
+   Either leg may be dropped by the fault policy; the requester cannot
+   tell which, so a loss of the reply re-runs the request leg too (the
+   modeled operations are idempotent — their state mutation happens once,
+   after the round trip completes). *)
 let round_trip ?service ?service_time ~src ~dst ~request_bytes:req
     ~reply_bytes () =
   let now = Desim.Engine.now (engine src) in
   let at_dst =
-    Network.transfer src.net ~now ~src:src.node ~dst:dst.node ~bytes:req
+    reliable_transfer src.net ~now ~src:src.node ~dst:dst.node ~bytes:req
   in
   let served = serve ?service ?service_time ~at:at_dst () in
-  Network.transfer src.net ~now:served ~src:dst.node ~dst:src.node
+  reliable_transfer src.net ~now:served ~src:dst.node ~dst:src.node
     ~bytes:reply_bytes
 
 let rdma_write ~src ~dst ~bytes =

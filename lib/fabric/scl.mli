@@ -46,3 +46,21 @@ val async_read :
 
 val request_bytes : int
 (** Size of a bare control/request message on the wire. *)
+
+(** {2 Reliable delivery under fault injection} *)
+
+val reliable_transfer :
+  Network.t -> now:Desim.Time.t -> src:Network.node -> dst:Network.node ->
+  bytes:int -> Desim.Time.t
+(** Arrival instant of a message that is retransmitted on loss: each
+    attempt may be dropped by the network's {!Faults} policy; the sender
+    times out after ~one round trip (doubling per attempt, capped) and
+    retries. With no fault policy this is exactly {!Network.transfer}.
+    Pure timing computation — callable outside a process, like
+    [Network.transfer]. The protocol layers ({!Samhita.Thread_ctx},
+    {!Samhita.Manager}) route every protocol message through this, which
+    is what makes RegC survive transient loss. *)
+
+val retry_timeout : Network.t -> bytes:int -> attempt:int -> Desim.Time.span
+(** The timeout before retransmission number [attempt + 1] (exposed for
+    tests). *)

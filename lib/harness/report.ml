@@ -23,6 +23,7 @@ type t = {
   gas_used : int;
   threads : thread_stats list;
   san : Analysis.Regcsan.t option;
+  faults : Samhita.Metrics.faults option;
 }
 
 let of_system sys =
@@ -59,7 +60,8 @@ let of_system sys =
              t_prefetch_installs = Samhita.Cache.prefetch_installs cache;
              t_dirty_evictions = Samhita.Cache.dirty_evictions cache })
         (Samhita.System.threads sys);
-    san = Samhita.System.sanitizer sys }
+    san = Samhita.System.sanitizer sys;
+    faults = Samhita.Metrics.faults_of_system sys }
 
 let fabric_bytes t = t.net_bytes
 let fabric_messages t = t.net_messages
@@ -86,6 +88,8 @@ let hit_rate t =
 let sanitizer_findings t =
   Option.map Analysis.Regcsan.findings_count t.san
 
+let fault_counters t = t.faults
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>== run report ==@,";
   Format.fprintf ppf "makespan            %a@," Desim.Time.pp t.wall;
@@ -103,6 +107,11 @@ let pp ppf t =
          s.s_id s.s_fetches s.s_diffs s.s_updates s.s_lines
          (100. *. s.s_util))
     t.servers;
+  (match t.faults with
+   | None -> ()
+   | Some f ->
+     Format.fprintf ppf "fault injection     %a@," Samhita.Metrics.pp_faults
+       f);
   Format.fprintf ppf "cache hit rate      %.4f (%d hits / %d misses)@,"
     (hit_rate t) (total_hits t) (total_misses t);
   List.iter

@@ -31,3 +31,7 @@ val hit_rate : t -> float
 val sanitizer_findings : t -> int option
 (** RegCSan finding count, when the run had [Config.sanitize] on. The
     findings themselves appear in {!pp} output. *)
+
+val fault_counters : t -> Samhita.Metrics.faults option
+(** Fault-injection counters (delayed / reordered / dropped / retried),
+    when the run had a {!Fabric.Faults} policy attached. *)

@@ -2,6 +2,10 @@ type t = {
   mutable now : Time.t;
   queue : (unit -> unit) Heap.t;
   mutable live : int;  (* processes spawned and not yet finished *)
+  (* Names of live processes, keyed by spawn id, so a stall can say who is
+     blocked rather than just how many. *)
+  names : (int, string) Hashtbl.t;
+  mutable next_pid : int;
   trace : Trace.t;
 }
 
@@ -11,8 +15,16 @@ type _ Effect.t +=
   | Delay : Time.span -> unit Effect.t
   | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
 
-let create ?(trace = Trace.null) () =
-  { now = Time.zero; queue = Heap.create (); live = 0; trace }
+let shuffle_tie_break ~seed : Heap.tie_break =
+ fun ~time ~seq -> Rng.hash3 seed time seq
+
+let create ?(trace = Trace.null) ?tie_break () =
+  { now = Time.zero;
+    queue = Heap.create ?tie_break ();
+    live = 0;
+    names = Hashtbl.create 16;
+    next_pid = 0;
+    trace }
 
 let now t = t.now
 let trace t = t.trace
@@ -29,13 +41,17 @@ let schedule t ?(delay = 0) thunk =
 (* Run [body] under the effect handler that maps Delay/Suspend onto the
    event queue. Continuations are one-shot; Suspend guards against double
    wake so synchronization primitives may broadcast defensively. *)
-let exec_process t name body =
+let exec_process t pid name body =
   let open Effect.Deep in
+  let finished () =
+    t.live <- t.live - 1;
+    Hashtbl.remove t.names pid
+  in
   let handler =
-    { retc = (fun () -> t.live <- t.live - 1);
+    { retc = (fun () -> finished ());
       exnc =
         (fun exn ->
-           t.live <- t.live - 1;
+           finished ();
            if Trace.enabled t.trace then
              Trace.emitf t.trace ~time:t.now ~tag:"process"
                "%s raised %s" name (Printexc.to_string exn);
@@ -64,8 +80,15 @@ let exec_process t name body =
   match_with body () handler
 
 let spawn t ?(delay = 0) ?(name = "process") body =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
   t.live <- t.live + 1;
-  schedule t ~delay (fun () -> exec_process t name body)
+  Hashtbl.replace t.names pid name;
+  schedule t ~delay (fun () -> exec_process t pid name body)
+
+let blocked_names t =
+  Hashtbl.fold (fun pid name acc -> (pid, name) :: acc) t.names []
+  |> List.sort compare |> List.map snd
 
 let step t =
   match Heap.pop t.queue with
@@ -81,8 +104,9 @@ let run t =
     raise
       (Stalled
          (Printf.sprintf
-            "simulation stalled at t=%dns with %d process(es) blocked"
-            (Time.to_ns t.now) t.live))
+            "simulation stalled at t=%dns with %d process(es) blocked: %s"
+            (Time.to_ns t.now) t.live
+            (String.concat ", " (blocked_names t))))
 
 let run_until t limit =
   let continue_ = ref true in

@@ -10,9 +10,22 @@ type t
 
 exception Stalled of string
 (** Raised by {!run} when processes remain blocked but no event can ever
-    wake them (a deadlock in the simulated system). *)
+    wake them (a deadlock in the simulated system). The message names every
+    blocked process (their spawn [?name]s) in spawn order. *)
 
-val create : ?trace:Trace.t -> unit -> t
+val create : ?trace:Trace.t -> ?tie_break:Heap.tie_break -> unit -> t
+(** [tie_break] installs a same-instant ordering hook on the event queue
+    (see {!Heap.tie_break}); omitted, events at one instant run in
+    insertion order. *)
+
+val shuffle_tie_break : seed:int -> Heap.tie_break
+(** The schedule fuzzer's seeded shuffler: a pure hash of
+    [(seed, time, seq)], so one seed yields one — replayable — permutation
+    of every same-instant event group. *)
+
+val blocked_names : t -> string list
+(** Names of live (spawned, unfinished) processes, in spawn order. After
+    {!run} raised {!Stalled} these are exactly the blocked processes. *)
 
 val now : t -> Time.t
 (** Current simulated time. Callable from anywhere. *)

@@ -1,20 +1,32 @@
-type 'a entry = { time : int; seq : int; payload : 'a }
+type 'a entry = { time : int; prio : int; seq : int; payload : 'a }
+
+type tie_break = time:int -> seq:int -> int
 
 type 'a t = {
   mutable arr : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
+  mutable tie_break : tie_break option;
 }
 
-let create ?(initial_capacity = 256) () =
+let create ?(initial_capacity = 256) ?tie_break () =
   { arr = Array.make (Stdlib.max 1 initial_capacity) None;
     size = 0;
-    next_seq = 0 }
+    next_seq = 0;
+    tie_break }
+
+let set_tie_break t tb = t.tie_break <- tb
 
 let is_empty t = t.size = 0
 let length t = t.size
 
-let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Among equal times, [prio] decides; [seq] breaks prio collisions so the
+   order is total and deterministic. With no tie_break installed
+   [prio = seq], i.e. FIFO among equals. *)
+let entry_lt a b =
+  a.time < b.time
+  || (a.time = b.time
+      && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
 
 let grow t =
   let arr = Array.make (2 * Array.length t.arr) None in
@@ -51,7 +63,11 @@ let rec sift_down t i =
 
 let push t ~time payload =
   if t.size = Array.length t.arr then grow t;
-  let e = { time; seq = t.next_seq; payload } in
+  let seq = t.next_seq in
+  let prio =
+    match t.tie_break with None -> seq | Some f -> f ~time ~seq
+  in
+  let e = { time; prio; seq; payload } in
   t.next_seq <- t.next_seq + 1;
   t.arr.(t.size) <- Some e;
   t.size <- t.size + 1;

@@ -1,12 +1,25 @@
 (** Array-backed binary min-heap used as the simulator's event queue.
 
-    Entries are ordered by [(time, seq)]: the sequence number is assigned on
-    insertion, making the pop order of simultaneous events deterministic
-    (FIFO among equals). *)
+    Entries are ordered by [(time, prio, seq)]. The sequence number is
+    assigned on insertion; by default [prio = seq], making the pop order of
+    simultaneous events deterministic FIFO among equals. Installing a
+    {!tie_break} hook replaces that default: the hook maps [(time, seq)] to
+    a priority, permuting same-instant order (the schedule fuzzer's seeded
+    shuffler) while [seq] still breaks priority collisions, so any hook
+    yields a total, deterministic order. *)
 
 type 'a t
 
-val create : ?initial_capacity:int -> unit -> 'a t
+type tie_break = time:int -> seq:int -> int
+(** Priority of an entry pushed at [time] with insertion number [seq].
+    Must be a pure function so replaying a run reproduces it. *)
+
+val create : ?initial_capacity:int -> ?tie_break:tie_break -> unit -> 'a t
+
+val set_tie_break : 'a t -> tie_break option -> unit
+(** Install ([Some]) or remove ([None]) the tie-break hook. Affects only
+    subsequently pushed entries; callers switch modes between runs, not
+    mid-drain. *)
 
 val is_empty : 'a t -> bool
 val length : 'a t -> int
@@ -15,7 +28,7 @@ val push : 'a t -> time:int -> 'a -> unit
 (** Insert a payload keyed by [time]. O(log n). *)
 
 val pop : 'a t -> (int * 'a) option
-(** Remove and return the entry with the smallest [(time, seq)] key,
+(** Remove and return the entry with the smallest [(time, prio, seq)] key,
     as [(time, payload)]. O(log n). *)
 
 val peek_time : 'a t -> int option

@@ -35,6 +35,12 @@ let float t bound =
 
 let bool t = Int64.logand (int64 t) 1L = 1L
 
+let hash3 a b c =
+  let z = Int64.add (Int64.of_int a) golden_gamma in
+  let z = mix64 (Int64.logxor z (Int64.mul (Int64.of_int b) golden_gamma)) in
+  let z = mix64 (Int64.add z (Int64.mul (Int64.of_int c) golden_gamma)) in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
 let exponential t ~mean =
   let u = float t 1.0 in
   (* Clamp away from 0 so log is finite. *)

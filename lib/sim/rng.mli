@@ -23,6 +23,11 @@ val float : t -> float -> float
 
 val bool : t -> bool
 
+val hash3 : int -> int -> int -> int
+(** Stateless SplitMix-style mix of three ints to 62 uniform non-negative
+    bits. Pure, so schedule-fuzzing tie-breaks derived from
+    [(seed, time, seq)] replay identically. *)
+
 val exponential : t -> mean:float -> float
 (** Exponentially distributed draw with the given mean (for arrival
     processes in workload generators). *)

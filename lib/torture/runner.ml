@@ -1,0 +1,245 @@
+type kernel = Micro | Jacobi | Racy
+
+let kernel_name = function
+  | Micro -> "micro"
+  | Jacobi -> "jacobi"
+  | Racy -> "racy"
+
+let kernel_of_string = function
+  | "micro" -> Ok Micro
+  | "jacobi" -> Ok Jacobi
+  | "racy" -> Ok Racy
+  | s -> Error (Printf.sprintf "unknown torture kernel %S" s)
+
+type outcome = {
+  o_seed : int;
+  o_wall_ns : int;
+  o_events : int;
+  o_reads_checked : int;
+  o_digest : int;
+  o_violations : Oracle.violation list;
+  o_trace : string list;
+  o_faults : Samhita.Metrics.faults option;
+}
+
+(* Seed-derived system geometry for the compute kernels: small lines and
+   tiny caches force evictions, multiple servers exercise striping, varied
+   history lengths flip acquirers between patch and invalidate paths. The
+   racy kernel keeps the default geometry — its per-class defect counts
+   are pinned by a test and must not depend on eviction accidents. *)
+let config_for ~kernel ~level ~seed rng =
+  match kernel with
+  | Racy ->
+    { Samhita.Config.default with
+      Samhita.Config.seed;
+      fault_level = level;
+      shuffle = true }
+  | Micro | Jacobi ->
+    let pick l = List.nth l (Desim.Rng.int rng (List.length l)) in
+    let page_bytes = pick [ 256; 512 ] in
+    let pages_per_line = pick [ 1; 2 ] in
+    let line = page_bytes * pages_per_line in
+    { Samhita.Config.default with
+      Samhita.Config.seed;
+      fault_level = level;
+      shuffle = true;
+      page_bytes;
+      pages_per_line;
+      cache_lines = pick [ 4; 8; 32 ];
+      prefetch = Desim.Rng.bool rng;
+      evict_dirty_first = Desim.Rng.bool rng;
+      small_threshold = 1024;
+      large_threshold = 64 * 1024;
+      arena_chunk_bytes = 16 * line;
+      stripe_lines = pick [ 1; 2; 4 ];
+      update_log_history = pick [ 0; 1; 64 ];
+      memory_servers = pick [ 1; 2; 3 ];
+      threads_per_node = pick [ 1; 2; 4 ] }
+
+let run_one ~kernel ~level ~seed =
+  (* All scenario draws come from a stream independent of the system's own
+     seeded streams (engine tie-break, fault policy). *)
+  let rng = Desim.Rng.create ~seed:(Desim.Rng.hash3 seed 0x746f72 1) in
+  let config = config_for ~kernel ~level ~seed rng in
+  let oracle = Oracle.create ~config () in
+  let captured = ref None in
+  let on_create sys =
+    captured := Some sys;
+    Oracle.attach oracle sys
+  in
+  let finished = ref false in
+  (try
+     match kernel with
+     | Racy ->
+       let sys = Workload.Racy.run ~on_create ~config () in
+       finished := true;
+       let n =
+         match Samhita.System.sanitizer sys with
+         | Some s -> Analysis.Regcsan.findings_count s
+         | None -> -1
+       in
+       if n <> 4 then
+         Oracle.note_violation oracle ~v_class:"sanitizer-count"
+           (Printf.sprintf
+              "RegCSan reported %d findings, expected exactly 4 (one per \
+               seeded defect class)"
+              n)
+     | Micro ->
+       let threads = 2 + Desim.Rng.int rng 3 in
+       let alloc =
+         List.nth
+           [ Workload.Microbench.Local;
+             Workload.Microbench.Global;
+             Workload.Microbench.Global_strided ]
+           (Desim.Rng.int rng 3)
+       in
+       let p =
+         { Workload.Microbench.default_params with
+           Workload.Microbench.n_outer = 3;
+           m_inner = 2;
+           s_rows = 2;
+           b_cols = 24;
+           warmup = 1;
+           alloc }
+       in
+       let backend = Workload.Samhita_backend.make ~on_create ~config () in
+       let r = Workload.Microbench.run backend ~threads p in
+       finished := true;
+       if r.Workload.Microbench.gsum <> r.Workload.Microbench.expected_gsum
+       then
+         Oracle.note_violation oracle ~v_class:"checksum"
+           (Printf.sprintf
+              "micro gsum %.17g <> sequential reference %.17g (lost or \
+               corrupted update)"
+              r.Workload.Microbench.gsum
+              r.Workload.Microbench.expected_gsum)
+     | Jacobi ->
+       let threads = 2 + Desim.Rng.int rng 3 in
+       let n = 8 + (2 * Desim.Rng.int rng 4) in
+       let iters = 2 + Desim.Rng.int rng 2 in
+       let p = { Workload.Jacobi.default_params with n; iters } in
+       let backend = Workload.Samhita_backend.make ~on_create ~config () in
+       let r = Workload.Jacobi.run backend ~threads p in
+       finished := true;
+       let ref_sum, ref_res = Workload.Jacobi.reference p in
+       if r.Workload.Jacobi.checksum <> ref_sum then
+         Oracle.note_violation oracle ~v_class:"checksum"
+           (Printf.sprintf
+              "jacobi checksum %.17g <> sequential reference %.17g (lost \
+               or corrupted update)"
+              r.Workload.Jacobi.checksum ref_sum);
+       if r.Workload.Jacobi.residual <> ref_res then
+         Oracle.note_violation oracle ~v_class:"checksum"
+           (Printf.sprintf
+              "jacobi residual %.17g <> sequential reference %.17g"
+              r.Workload.Jacobi.residual ref_res)
+   with
+   | Desim.Engine.Stalled msg ->
+     Oracle.note_violation oracle ~v_class:"deadlock" msg
+   | exn ->
+     Oracle.note_violation oracle ~v_class:"crash" (Printexc.to_string exn));
+  (* End-of-run invariants need a quiescent system; a deadlocked or
+     crashed run is reported by its primary violation alone. *)
+  (match (!finished, !captured) with
+   | true, Some sys -> Oracle.finalize oracle sys
+   | _ -> ());
+  { o_seed = seed;
+    o_wall_ns =
+      (match !captured with
+       | Some sys -> Desim.Time.to_ns (Samhita.System.elapsed sys)
+       | None -> 0);
+    o_events = Oracle.events oracle;
+    o_reads_checked = Oracle.reads_checked oracle;
+    o_digest = Oracle.digest oracle;
+    o_violations = Oracle.violations oracle;
+    o_trace = Oracle.trace_tail oracle;
+    o_faults =
+      (match !captured with
+       | Some sys -> Samhita.Metrics.faults_of_system sys
+       | None -> None) }
+
+type summary = {
+  s_kernel : kernel;
+  s_level : Fabric.Faults.level;
+  s_runs : int;
+  s_events : int;
+  s_reads_checked : int;
+  s_faults : Samhita.Metrics.faults;
+  s_failures : outcome list;
+}
+
+let run ?(replay_check = true) ~kernel ~level ~seeds ~base_seed () =
+  if seeds <= 0 then invalid_arg "Torture.Runner.run: seeds must be positive";
+  let failures = ref [] in
+  let events = ref 0 and reads = ref 0 in
+  let fd = ref 0 and fr = ref 0 and fo = ref 0 and ft = ref 0 in
+  for i = 0 to seeds - 1 do
+    let seed = base_seed + i in
+    let o = run_one ~kernel ~level ~seed in
+    let o =
+      if not replay_check then o
+      else begin
+        let o2 = run_one ~kernel ~level ~seed in
+        if
+          o2.o_digest <> o.o_digest
+          || o2.o_events <> o.o_events
+          || o2.o_wall_ns <> o.o_wall_ns
+        then
+          { o with
+            o_violations =
+              o.o_violations
+              @ [ { Oracle.v_class = "nondeterminism";
+                    v_message =
+                      Printf.sprintf
+                        "replay diverged: digest %x vs %x, %d vs %d \
+                         events, wall %dns vs %dns"
+                        o.o_digest o2.o_digest o.o_events o2.o_events
+                        o.o_wall_ns o2.o_wall_ns } ] }
+        else o
+      end
+    in
+    events := !events + o.o_events;
+    reads := !reads + o.o_reads_checked;
+    (match o.o_faults with
+     | Some f ->
+       fd := !fd + f.Samhita.Metrics.delayed;
+       fo := !fo + f.Samhita.Metrics.reordered;
+       fr := !fr + f.Samhita.Metrics.dropped;
+       ft := !ft + f.Samhita.Metrics.retried
+     | None -> ());
+    if o.o_violations <> [] then failures := o :: !failures
+  done;
+  { s_kernel = kernel;
+    s_level = level;
+    s_runs = seeds;
+    s_events = !events;
+    s_reads_checked = !reads;
+    s_faults =
+      { Samhita.Metrics.delayed = !fd;
+        reordered = !fo;
+        dropped = !fr;
+        retried = !ft };
+    s_failures = List.rev !failures }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>seed %d: %d violation(s)@," o.o_seed
+    (List.length o.o_violations);
+  List.iter
+    (fun (v : Oracle.violation) ->
+       Format.fprintf ppf "  [%s] %s@," v.Oracle.v_class v.Oracle.v_message)
+    o.o_violations;
+  if o.o_trace <> [] then begin
+    Format.fprintf ppf "  trace tail (%d events):@," (List.length o.o_trace);
+    List.iter (fun l -> Format.fprintf ppf "    %s@," l) o.o_trace
+  end;
+  Format.fprintf ppf "@]"
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>torture %s faults=%s: %d seed(s), %d events, %d reads checked@,\
+     injected: %a@,%s@]"
+    (kernel_name s.s_kernel)
+    (Fabric.Faults.level_name s.s_level)
+    s.s_runs s.s_events s.s_reads_checked Samhita.Metrics.pp_faults s.s_faults
+    (if s.s_failures = [] then "all seeds clean"
+     else Printf.sprintf "%d FAILING seed(s)" (List.length s.s_failures))

@@ -1,0 +1,55 @@
+(** RegCTorture: seeded exploration of the protocol state space.
+
+    Each seed is one fully deterministic run: the seed derives a system
+    geometry (line size, cache capacity, server/thread layout, protocol
+    knobs), a schedule-fuzzing tie-break ([Config.shuffle]) and a fabric
+    fault policy ([Config.fault_level]) — then drives a {!kernel} with the
+    {!Oracle} attached and the result checksummed against the kernel's
+    sequential reference. Running a seed twice must produce bit-identical
+    event streams; {!run} verifies that for every seed. *)
+
+type kernel = Micro | Jacobi | Racy
+
+val kernel_name : kernel -> string
+val kernel_of_string : string -> (kernel, string) result
+
+type outcome = {
+  o_seed : int;
+  o_wall_ns : int;
+  o_events : int;
+  o_reads_checked : int;
+  o_digest : int;
+  o_violations : Oracle.violation list;
+  o_trace : string list;  (** Oracle trace tail, oldest first. *)
+  o_faults : Samhita.Metrics.faults option;
+}
+
+val run_one :
+  kernel:kernel -> level:Fabric.Faults.level -> seed:int -> outcome
+(** One deterministic torture run. Deadlock ([Desim.Engine.Stalled]) and
+    kernel crashes are reported as violations, never raised. *)
+
+type summary = {
+  s_kernel : kernel;
+  s_level : Fabric.Faults.level;
+  s_runs : int;
+  s_events : int;
+  s_reads_checked : int;
+  s_faults : Samhita.Metrics.faults;  (** Summed over all runs. *)
+  s_failures : outcome list;  (** Seeds with at least one violation. *)
+}
+
+val run :
+  ?replay_check:bool ->
+  kernel:kernel ->
+  level:Fabric.Faults.level ->
+  seeds:int -> base_seed:int -> unit -> summary
+(** Torture [seeds] consecutive seeds starting at [base_seed]. With
+    [replay_check] (default on) every seed runs twice and any divergence
+    in digest, event count or makespan is itself a ["nondeterminism"]
+    violation. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Failing-seed report: violations then the trace tail. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -14,9 +14,11 @@
    Because it exercises condition variables, this workload is
    Samhita-specific rather than a {!Backend_sig.S} kernel. *)
 
-let run ?(config = Samhita.Config.default) () =
+let run ?(on_create = fun (_ : Samhita.System.t) -> ())
+    ?(config = Samhita.Config.default) () =
   let config = { config with Samhita.Config.sanitize = true } in
   let sys = Samhita.System.create ~config ~threads:2 () in
+  on_create sys;
   let m = Samhita.System.mutex sys in
   let c = Samhita.System.cond sys in
   let b = Samhita.System.barrier sys ~parties:2 in

@@ -6,6 +6,10 @@
     use-after-free — all with deterministic ordering, so the analyzer
     must report exactly four findings every run. *)
 
-val run : ?config:Samhita.Config.t -> unit -> Samhita.System.t
+val run :
+  ?on_create:(Samhita.System.t -> unit) ->
+  ?config:Samhita.Config.t -> unit -> Samhita.System.t
 (** Build, run and return the system. [Config.sanitize] is forced on;
-    query {!Samhita.System.sanitizer} on the result for the findings. *)
+    query {!Samhita.System.sanitizer} on the result for the findings.
+    [on_create] runs after {!Samhita.System.create} but before any thread
+    is spawned — the torture harness attaches its oracle probe there. *)

@@ -143,6 +143,59 @@ let test_yield_lets_peers_run () =
   Alcotest.(check (list string)) "yield ordering" [ "a1"; "b"; "a2" ]
     (List.rev !log)
 
+(* Schedule fuzzing: a shuffled engine permutes same-instant events as a
+   pure function of the seed — replayable, time order untouched. *)
+let shuffled_order ~seed =
+  let e =
+    Desim.Engine.create
+      ~tie_break:(Desim.Engine.shuffle_tie_break ~seed)
+      ()
+  in
+  let log = ref [] in
+  for i = 0 to 7 do
+    Desim.Engine.schedule e ~delay:(ns (i mod 2)) (fun () -> log := i :: !log)
+  done;
+  Desim.Engine.run e;
+  List.rev !log
+
+let test_shuffle_engine_deterministic () =
+  Alcotest.(check (list int))
+    "same seed, same order" (shuffled_order ~seed:42) (shuffled_order ~seed:42);
+  let fifo = [ 0; 2; 4; 6; 1; 3; 5; 7 ] in
+  List.iter
+    (fun seed ->
+       let out = shuffled_order ~seed in
+       Alcotest.(check (list int))
+         "time groups preserved"
+         (List.sort compare (List.filteri (fun i _ -> i < 4) fifo))
+         (List.sort compare (List.filteri (fun i _ -> i < 4) out)))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "some seed deviates from FIFO" true
+    (List.exists (fun seed -> shuffled_order ~seed <> fifo) [ 1; 2; 3; 4; 5 ])
+
+let test_stalled_names () =
+  let e = Desim.Engine.create () in
+  let park () = Desim.Engine.suspend ~register:(fun ~wake:_ -> ()) in
+  Desim.Engine.spawn e ~name:"node0/thr1" park;
+  Desim.Engine.spawn e ~name:"node1/thr0" park;
+  Desim.Engine.spawn e (fun () -> ());
+  (match Desim.Engine.run e with
+   | () -> Alcotest.fail "expected Stalled"
+   | exception Desim.Engine.Stalled msg ->
+     let mem s =
+       let n = String.length msg and k = String.length s in
+       let rec go i = i + k <= n && (String.sub msg i k = s || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool) "message names first blocked process" true
+       (mem "node0/thr1");
+     Alcotest.(check bool) "message names second blocked process" true
+       (mem "node1/thr0"));
+  Alcotest.(check (list string))
+    "blocked_names lists them in spawn order"
+    [ "node0/thr1"; "node1/thr0" ]
+    (Desim.Engine.blocked_names e)
+
 let test_trace_records () =
   let trace = Desim.Trace.recording () in
   let e = Desim.Engine.create ~trace () in
@@ -176,6 +229,10 @@ let tests =
       test_exception_propagates;
     Alcotest.test_case "run_until" `Quick test_run_until;
     Alcotest.test_case "yield" `Quick test_yield_lets_peers_run;
+    Alcotest.test_case "shuffled engine deterministic" `Quick
+      test_shuffle_engine_deterministic;
+    Alcotest.test_case "stalled names blocked processes" `Quick
+      test_stalled_names;
     Alcotest.test_case "trace recording" `Quick test_trace_records;
     Alcotest.test_case "null trace" `Quick test_null_trace_silent ]
 

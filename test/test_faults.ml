@@ -1,0 +1,165 @@
+(* Tests for the fabric fault-injection policy and the reliable-delivery
+   retry loop it torments. *)
+
+let t0 = Desim.Time.zero
+
+let profile =
+  { Fabric.Profile.name = "test";
+    hop_latency = 100;
+    bandwidth_bytes_per_s = 1e9;
+    post_overhead = 50;
+    switched = true;
+    header_bytes = 0 }
+
+let mk_net ?faults () =
+  let e = Desim.Engine.create () in
+  (e, Fabric.Network.create ?faults e ~profile ~node_count:4)
+
+let test_level_of_string () =
+  let lvl = Alcotest.testable
+      (fun ppf l -> Format.pp_print_string ppf (Fabric.Faults.level_name l))
+      ( = )
+  in
+  List.iter
+    (fun (s, expect) ->
+       Alcotest.(check (result lvl string)) s (Ok expect)
+         (Fabric.Faults.level_of_string s))
+    [ ("off", Fabric.Faults.Off); ("none", Fabric.Faults.Off);
+      ("low", Fabric.Faults.Low); ("medium", Fabric.Faults.Medium);
+      ("med", Fabric.Faults.Medium); ("high", Fabric.Faults.High) ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Fabric.Faults.level_of_string "chaotic"))
+
+let test_off_is_inert () =
+  let f = Fabric.Faults.create ~seed:1 ~level:Fabric.Faults.Off in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "never drops" false
+      (Fabric.Faults.should_drop f ~src:0 ~dst:1)
+  done;
+  let a = Desim.Time.of_ns 500 in
+  Alcotest.(check int) "perturb is identity" 500
+    (Desim.Time.to_ns (Fabric.Faults.perturb f ~src:0 ~dst:1 ~arrival:a));
+  Alcotest.(check int) "no counters" 0
+    (Fabric.Faults.messages_delayed f + Fabric.Faults.messages_reordered f
+     + Fabric.Faults.messages_dropped f)
+
+let test_bounded_consecutive_drops () =
+  (* High allows at most 3 consecutive drops per pair: with no delivery in
+     between, a pair's drop budget never replenishes. *)
+  let f = Fabric.Faults.create ~seed:7 ~level:Fabric.Faults.High in
+  let drops = ref 0 in
+  for _ = 1 to 10_000 do
+    if Fabric.Faults.should_drop f ~src:0 ~dst:1 then incr drops
+  done;
+  Alcotest.(check int) "budget exhausted at 3" 3 !drops;
+  (* A delivery (perturb) resets the pair's budget. *)
+  ignore (Fabric.Faults.perturb f ~src:0 ~dst:1 ~arrival:t0);
+  let more = ref 0 in
+  for _ = 1 to 10_000 do
+    if Fabric.Faults.should_drop f ~src:0 ~dst:1 then incr more
+  done;
+  Alcotest.(check int) "budget replenished, re-capped" 3 !more;
+  (* Other pairs have independent budgets. *)
+  let other = ref 0 in
+  for _ = 1 to 10_000 do
+    if Fabric.Faults.should_drop f ~src:2 ~dst:3 then incr other
+  done;
+  Alcotest.(check int) "per-pair budget" 3 !other
+
+let test_per_pair_monotonic () =
+  (* Within one (src,dst) pair delivery order is preserved: perturbed
+     arrivals are strictly increasing even when the nominal arrivals are
+     identical (reorder-scale delays would otherwise leapfrog). *)
+  let f = Fabric.Faults.create ~seed:42 ~level:Fabric.Faults.High in
+  let last = ref (-1) in
+  for _ = 1 to 500 do
+    let a =
+      Desim.Time.to_ns
+        (Fabric.Faults.perturb f ~src:1 ~dst:2 ~arrival:(Desim.Time.of_ns 1000))
+    in
+    Alcotest.(check bool) "monotonic within pair" true (a > !last);
+    Alcotest.(check bool) "never early" true (a >= 1000);
+    last := a
+  done;
+  Alcotest.(check bool) "jitter injected" true
+    (Fabric.Faults.messages_delayed f > 0);
+  Alcotest.(check bool) "reorder-scale delays injected" true
+    (Fabric.Faults.messages_reordered f > 0)
+
+let test_seed_determinism () =
+  let run seed =
+    let f = Fabric.Faults.create ~seed ~level:Fabric.Faults.High in
+    let out = ref [] in
+    for i = 0 to 199 do
+      let src = i mod 3 and dst = (i + 1) mod 3 in
+      let d = Fabric.Faults.should_drop f ~src ~dst in
+      let a =
+        if d then -1
+        else
+          Desim.Time.to_ns
+            (Fabric.Faults.perturb f ~src ~dst
+               ~arrival:(Desim.Time.of_ns (100 * i)))
+      in
+      out := a :: !out
+    done;
+    ( !out,
+      Fabric.Faults.messages_delayed f,
+      Fabric.Faults.messages_reordered f,
+      Fabric.Faults.messages_dropped f )
+  in
+  Alcotest.(check bool) "same seed, same stream" true (run 9 = run 9);
+  Alcotest.(check bool) "different seed, different stream" true
+    (run 9 <> run 10)
+
+let test_reliable_transfer_no_faults () =
+  (* Transfers mutate port-queue state, so compare on two fresh fabrics. *)
+  let _, net1 = mk_net () in
+  let _, net2 = mk_net () in
+  Alcotest.(check int) "reduces to Network.transfer"
+    (Desim.Time.to_ns (Fabric.Network.transfer net1 ~now:t0 ~src:0 ~dst:1
+                         ~bytes:1000))
+    (Desim.Time.to_ns (Fabric.Scl.reliable_transfer net2 ~now:t0 ~src:0 ~dst:1
+                         ~bytes:1000))
+
+let test_reliable_transfer_retries_through_drops () =
+  let faults = Fabric.Faults.create ~seed:3 ~level:Fabric.Faults.High in
+  let _, net = mk_net ~faults () in
+  let base = Fabric.Network.one_way_estimate net ~bytes:256 in
+  for i = 0 to 199 do
+    let now = Desim.Time.of_ns (i * 10_000) in
+    let a = Fabric.Scl.reliable_transfer net ~now ~src:0 ~dst:1 ~bytes:256 in
+    Alcotest.(check bool) "arrives, never before the uncontended time" true
+      (Desim.Time.to_ns a >= Desim.Time.to_ns now + base)
+  done;
+  (* Every drop costs exactly one retransmission here (only this loop is
+     sending), and at High some of 200 sends are dropped. *)
+  Alcotest.(check bool) "drops happened" true
+    (Fabric.Faults.messages_dropped faults > 0);
+  Alcotest.(check int) "one retry per drop"
+    (Fabric.Faults.messages_dropped faults)
+    (Fabric.Faults.messages_retried faults)
+
+let test_retry_timeout_backoff () =
+  let _, net = mk_net () in
+  let t k = Fabric.Scl.retry_timeout net ~bytes:256 ~attempt:k in
+  Alcotest.(check int) "doubles per attempt" (2 * t 0) (t 1);
+  Alcotest.(check int) "keeps doubling" (4 * t 0) (t 2);
+  Alcotest.(check int) "backoff capped" (t 4) (t 5);
+  Alcotest.(check int) "cap is 16x" (16 * t 0) (t 9)
+
+let tests =
+  [ Alcotest.test_case "level_of_string" `Quick test_level_of_string;
+    Alcotest.test_case "off is inert" `Quick test_off_is_inert;
+    Alcotest.test_case "bounded consecutive drops" `Quick
+      test_bounded_consecutive_drops;
+    Alcotest.test_case "per-pair monotonic delivery" `Quick
+      test_per_pair_monotonic;
+    Alcotest.test_case "seed determinism" `Quick test_seed_determinism;
+    Alcotest.test_case "reliable_transfer without faults" `Quick
+      test_reliable_transfer_no_faults;
+    Alcotest.test_case "reliable_transfer retries through drops" `Quick
+      test_reliable_transfer_retries_through_drops;
+    Alcotest.test_case "retry timeout backoff" `Quick
+      test_retry_timeout_backoff ]
+
+let () = Alcotest.run "fabric.faults" [ ("faults", tests) ]

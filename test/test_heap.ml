@@ -58,6 +58,59 @@ let test_clear () =
   Alcotest.(check (option int)) "usable after clear" (Some 5)
     (Desim.Heap.peek_time h)
 
+(* The tie_break hook replaces FIFO order among equal times; seq still
+   breaks priority collisions, so any hook yields a total order. *)
+let test_tie_break_custom () =
+  (* Reverse insertion order among equals: larger seq -> smaller prio. *)
+  let h = Desim.Heap.create ~tie_break:(fun ~time:_ ~seq -> -seq) () in
+  List.iter (fun v -> Desim.Heap.push h ~time:0 v) [ 1; 2; 3 ];
+  Desim.Heap.push h ~time:1 9;
+  Alcotest.(check (list (pair int int)))
+    "reversed among equals, time still dominates"
+    [ (0, 3); (0, 2); (0, 1); (1, 9) ]
+    (drain h)
+
+let shuffled_drain ~seed times =
+  let h =
+    Desim.Heap.create
+      ~tie_break:(fun ~time ~seq -> Desim.Rng.hash3 seed time seq)
+      ()
+  in
+  List.iteri (fun i t -> Desim.Heap.push h ~time:t (t, i)) times;
+  List.map snd (drain h)
+
+let test_shuffle_deterministic () =
+  let times = List.init 40 (fun i -> i mod 4) in
+  Alcotest.(check (list (pair int int)))
+    "same seed, same permutation"
+    (shuffled_drain ~seed:7 times)
+    (shuffled_drain ~seed:7 times);
+  (* Still sorted by time; only same-instant order may move. *)
+  let out = shuffled_drain ~seed:7 times in
+  Alcotest.(check bool) "time order preserved" true
+    (List.for_all2
+       (fun (t1, _) (t2, _) -> t1 <= t2)
+       (List.filteri (fun i _ -> i < List.length out - 1) out)
+       (List.tl out));
+  let fifo =
+    let h = Desim.Heap.create () in
+    List.iteri (fun i t -> Desim.Heap.push h ~time:t (t, i)) times;
+    List.map snd (drain h)
+  in
+  Alcotest.(check bool) "some seed deviates from FIFO" true
+    (List.exists (fun seed -> shuffled_drain ~seed times <> fifo) [ 1; 2; 3 ])
+
+let test_set_tie_break () =
+  let h = Desim.Heap.create () in
+  Desim.Heap.set_tie_break h (Some (fun ~time:_ ~seq -> -seq));
+  List.iter (fun v -> Desim.Heap.push h ~time:0 v) [ 1; 2; 3 ];
+  Alcotest.(check (list (pair int int)))
+    "installed hook applies" [ (0, 3); (0, 2); (0, 1) ] (drain h);
+  Desim.Heap.set_tie_break h None;
+  List.iter (fun v -> Desim.Heap.push h ~time:0 v) [ 1; 2; 3 ];
+  Alcotest.(check (list (pair int int)))
+    "removal restores FIFO" [ (0, 1); (0, 2); (0, 3) ] (drain h)
+
 let prop_sorted =
   QCheck.Test.make ~name:"pop order is sorted and stable" ~count:300
     QCheck.(list (int_bound 50))
@@ -113,6 +166,10 @@ let tests =
     Alcotest.test_case "peek" `Quick test_peek;
     Alcotest.test_case "growth" `Quick test_growth;
     Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "custom tie-break" `Quick test_tie_break_custom;
+    Alcotest.test_case "seeded shuffle deterministic" `Quick
+      test_shuffle_deterministic;
+    Alcotest.test_case "set_tie_break" `Quick test_set_tie_break;
     QCheck_alcotest.to_alcotest prop_sorted;
     QCheck_alcotest.to_alcotest prop_interleaved ]
 

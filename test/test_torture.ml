@@ -1,0 +1,218 @@
+(* Tests for the torture harness: oracle legality checking, digest
+   determinism, and the racy kernel's pinned per-class defect counts
+   under fault injection and schedule fuzzing. *)
+
+let t_ns = Desim.Time.of_ns
+
+let config = Samhita.Config.default
+let line_bytes = Samhita.Config.line_bytes config
+
+let mk_oracle () = Torture.Oracle.create ~config ()
+
+let classes o =
+  List.map (fun v -> v.Torture.Oracle.v_class) (Torture.Oracle.violations o)
+
+(* ---------------- Oracle legality (fed directly, no system) -------- *)
+
+let test_oracle_zero_legal () =
+  let o = mk_oracle () in
+  let p = Torture.Oracle.probe o in
+  p.Samhita.Probe.on_read ~thread:0 ~time:(t_ns 10) ~addr:64 ~len:8
+    ~value:(Some 0L);
+  Alcotest.(check (list string)) "initial zero is legal" [] (classes o);
+  Alcotest.(check int) "read was checked" 1 (Torture.Oracle.reads_checked o)
+
+let test_oracle_flags_illegal_read () =
+  let o = mk_oracle () in
+  let p = Torture.Oracle.probe o in
+  p.Samhita.Probe.on_read ~thread:0 ~time:(t_ns 10) ~addr:64 ~len:8
+    ~value:(Some 0xDEADL);
+  Alcotest.(check (list string)) "unsourced value flagged"
+    [ "illegal-read" ] (classes o);
+  Alcotest.(check bool) "trace contextualizes it" true
+    (Torture.Oracle.trace_tail o <> [])
+
+let test_oracle_own_store_legal () =
+  let o = mk_oracle () in
+  let p = Torture.Oracle.probe o in
+  p.Samhita.Probe.on_write ~thread:2 ~time:(t_ns 1) ~addr:128 ~len:8
+    ~value:(Some 7L);
+  p.Samhita.Probe.on_read ~thread:2 ~time:(t_ns 2) ~addr:128 ~len:8
+    ~value:(Some 7L);
+  Alcotest.(check (list string)) "own last store is legal" [] (classes o);
+  (* Another thread has no such edge: 7 was never published. *)
+  p.Samhita.Probe.on_read ~thread:3 ~time:(t_ns 3) ~addr:128 ~len:8
+    ~value:(Some 7L);
+  Alcotest.(check (list string)) "other thread may not see it"
+    [ "illegal-read" ] (classes o)
+
+let test_oracle_published_history_legal () =
+  let o = mk_oracle () in
+  let p = Torture.Oracle.probe o in
+  let publish v =
+    let data = Bytes.make line_bytes '\000' in
+    Bytes.set_int64_le data 0 v;
+    p.Samhita.Probe.on_publish ~thread:0 ~time:(t_ns 5) ~server:0 ~line:2
+      ~version:1 ~data
+  in
+  publish 11L;
+  publish 22L;
+  let addr = 2 * line_bytes in
+  (* RegC permits stale reads: the full history is legal, not just the
+     newest publication. *)
+  p.Samhita.Probe.on_read ~thread:1 ~time:(t_ns 6) ~addr ~len:8
+    ~value:(Some 22L);
+  p.Samhita.Probe.on_read ~thread:1 ~time:(t_ns 7) ~addr ~len:8
+    ~value:(Some 11L);
+  Alcotest.(check (list string)) "published history legal" [] (classes o);
+  p.Samhita.Probe.on_read ~thread:1 ~time:(t_ns 8) ~addr ~len:8
+    ~value:(Some 33L);
+  Alcotest.(check (list string)) "unpublished value still flagged"
+    [ "illegal-read" ] (classes o)
+
+let test_oracle_tainted_words_skipped () =
+  let o = mk_oracle () in
+  let p = Torture.Oracle.probe o in
+  (* A sub-word store taints the containing word; word-level legality is
+     no longer expressible there, so reads of it are not checked. *)
+  p.Samhita.Probe.on_write ~thread:0 ~time:(t_ns 1) ~addr:68 ~len:4
+    ~value:None;
+  p.Samhita.Probe.on_read ~thread:1 ~time:(t_ns 2) ~addr:64 ~len:8
+    ~value:(Some 0xBADL);
+  Alcotest.(check (list string)) "tainted word not checked" [] (classes o);
+  Alcotest.(check int) "and not counted as checked" 0
+    (Torture.Oracle.reads_checked o)
+
+let test_oracle_alloc_invariants () =
+  let o = mk_oracle () in
+  let p = Torture.Oracle.probe o in
+  p.Samhita.Probe.on_malloc ~thread:0 ~time:(t_ns 1) ~addr:1024 ~bytes:256;
+  p.Samhita.Probe.on_malloc ~thread:1 ~time:(t_ns 2) ~addr:1152 ~bytes:64;
+  p.Samhita.Probe.on_free ~thread:0 ~time:(t_ns 3) ~addr:4096 ~bytes:16;
+  Alcotest.(check (list string)) "overlap and invalid free"
+    [ "alloc-overlap"; "alloc-invalid-free" ] (classes o)
+
+let test_oracle_digest_order_sensitive () =
+  let feed order =
+    let o = mk_oracle () in
+    let p = Torture.Oracle.probe o in
+    List.iter
+      (fun (thread, addr) ->
+         p.Samhita.Probe.on_write ~thread ~time:(t_ns 1) ~addr ~len:8
+           ~value:(Some 1L))
+      order;
+    Torture.Oracle.digest o
+  in
+  let a = [ (0, 64); (1, 128) ] in
+  Alcotest.(check int) "same stream, same digest" (feed a) (feed a);
+  Alcotest.(check bool) "swapped stream, different digest" true
+    (feed a <> feed (List.rev a))
+
+(* ---------------- Runner ------------------------------------------- *)
+
+let test_kernel_of_string () =
+  List.iter
+    (fun (s, k) ->
+       Alcotest.(check string) s (Torture.Runner.kernel_name k)
+         (match Torture.Runner.kernel_of_string s with
+          | Ok k -> Torture.Runner.kernel_name k
+          | Error e -> e))
+    [ ("micro", Torture.Runner.Micro); ("jacobi", Torture.Runner.Jacobi);
+      ("racy", Torture.Runner.Racy) ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Torture.Runner.kernel_of_string "fft"))
+
+let test_run_one_deterministic () =
+  let o1 = Torture.Runner.run_one ~kernel:Torture.Runner.Micro
+      ~level:Fabric.Faults.High ~seed:5
+  and o2 = Torture.Runner.run_one ~kernel:Torture.Runner.Micro
+      ~level:Fabric.Faults.High ~seed:5 in
+  Alcotest.(check int) "same digest" o1.Torture.Runner.o_digest
+    o2.Torture.Runner.o_digest;
+  Alcotest.(check int) "same event count" o1.Torture.Runner.o_events
+    o2.Torture.Runner.o_events;
+  Alcotest.(check int) "same makespan" o1.Torture.Runner.o_wall_ns
+    o2.Torture.Runner.o_wall_ns;
+  Alcotest.(check bool) "oracle exercised" true
+    (o1.Torture.Runner.o_reads_checked > 0);
+  Alcotest.(check bool) "clean" true (o1.Torture.Runner.o_violations = []);
+  let o3 = Torture.Runner.run_one ~kernel:Torture.Runner.Micro
+      ~level:Fabric.Faults.High ~seed:6 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (o3.Torture.Runner.o_digest <> o1.Torture.Runner.o_digest)
+
+let test_runner_summary_smoke () =
+  let s = Torture.Runner.run ~kernel:Torture.Runner.Jacobi
+      ~level:Fabric.Faults.Medium ~seeds:3 ~base_seed:100 () in
+  Alcotest.(check int) "all seeds ran" 3 s.Torture.Runner.s_runs;
+  Alcotest.(check bool) "reads checked" true
+    (s.Torture.Runner.s_reads_checked > 0);
+  Alcotest.(check bool) "faults injected" true
+    (s.Torture.Runner.s_faults.Samhita.Metrics.delayed > 0);
+  Alcotest.(check (list string)) "no failing seeds" []
+    (List.map
+       (fun (o : Torture.Runner.outcome) -> string_of_int o.o_seed)
+       s.Torture.Runner.s_failures)
+
+(* ---------------- Racy kernel under torture (satellite) ------------ *)
+
+(* The racy workload seeds exactly one defect of each class; fault
+   injection and schedule fuzzing must not add or mask findings — the
+   defects are ordering bugs in the program, not in the schedule. *)
+let test_racy_one_defect_per_class_50_seeds () =
+  for seed = 1 to 50 do
+    let cfg =
+      { config with
+        Samhita.Config.seed;
+        fault_level = Fabric.Faults.High;
+        shuffle = true }
+    in
+    let oracle = Torture.Oracle.create ~config:cfg () in
+    let sys =
+      Workload.Racy.run ~on_create:(Torture.Oracle.attach oracle)
+        ~config:cfg ()
+    in
+    Torture.Oracle.finalize oracle sys;
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d: memory oracle clean" seed)
+      []
+      (List.map (fun v -> v.Torture.Oracle.v_class)
+         (Torture.Oracle.violations oracle));
+    let kinds =
+      match Samhita.System.sanitizer sys with
+      | None -> Alcotest.fail "racy kernel must force the sanitizer on"
+      | Some san ->
+        List.sort compare
+          (List.map
+             (fun (f : Analysis.Regcsan.finding) ->
+                Analysis.Regcsan.kind_name f.Analysis.Regcsan.kind)
+             (Analysis.Regcsan.findings san))
+    in
+    Alcotest.(check (list string))
+      (Printf.sprintf "seed %d: one defect per class" seed)
+      (List.sort compare [ "race"; "unpublished"; "mixed"; "invalid-read" ])
+      kinds
+  done
+
+let tests =
+  [ Alcotest.test_case "oracle: zero legal" `Quick test_oracle_zero_legal;
+    Alcotest.test_case "oracle: illegal read flagged" `Quick
+      test_oracle_flags_illegal_read;
+    Alcotest.test_case "oracle: own store legal" `Quick
+      test_oracle_own_store_legal;
+    Alcotest.test_case "oracle: published history legal" `Quick
+      test_oracle_published_history_legal;
+    Alcotest.test_case "oracle: tainted words skipped" `Quick
+      test_oracle_tainted_words_skipped;
+    Alcotest.test_case "oracle: allocation invariants" `Quick
+      test_oracle_alloc_invariants;
+    Alcotest.test_case "oracle: digest order-sensitive" `Quick
+      test_oracle_digest_order_sensitive;
+    Alcotest.test_case "kernel_of_string" `Quick test_kernel_of_string;
+    Alcotest.test_case "run_one deterministic" `Quick
+      test_run_one_deterministic;
+    Alcotest.test_case "runner summary" `Quick test_runner_summary_smoke;
+    Alcotest.test_case "racy: one defect per class, 50 seeds" `Slow
+      test_racy_one_defect_per_class_50_seeds ]
+
+let () = Alcotest.run "torture" [ ("torture", tests) ]
