@@ -5,7 +5,8 @@
      dune exec bench/main.exe                 # everything, paper scale
      dune exec bench/main.exe -- --quick      # shrunken sweeps
      dune exec bench/main.exe -- fig3 fig11   # a subset
-     dune exec bench/main.exe -- --no-micro   # skip Bechamel section *)
+     dune exec bench/main.exe -- --no-micro   # skip Bechamel section
+     dune exec bench/main.exe -- --json       # also write BENCH.json *)
 
 let run_figures ~scale ~ids =
   let c = Harness.Experiments.ctx scale in
@@ -24,14 +25,34 @@ let run_figures ~scale ~ids =
              exit 2)
         ids
   in
-  List.iter
-    (fun (_, f) ->
+  List.map
+    (fun (id, f) ->
+       let t0 = Unix.gettimeofday () in
        let fig = f c in
-       Harness.Series.render Format.std_formatter fig)
+       Harness.Series.render Format.std_formatter fig;
+       (id, Unix.gettimeofday () -. t0))
     selected
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core primitives                    *)
+
+(* The cache-hit benchmarks drive a real Thread_ctx outside the engine:
+   a one-thread system faults a line in (and dirties it) during a warmup
+   run, after which repeated hits on that line perform no effects — the
+   access path is plain OCaml — so Bechamel can call it directly. *)
+let warmed_hit_ctx () =
+  let sys = Samhita.System.create ~threads:1 () in
+  let got = ref None in
+  ignore
+    (Samhita.System.spawn sys (fun t ->
+         let a = Samhita.Thread_ctx.malloc t ~bytes:64 in
+         Samhita.Thread_ctx.write_i64 t a 1L;
+         got := Some (t, a))
+     : Samhita.Thread_ctx.t);
+  Samhita.System.run sys;
+  match !got with
+  | Some ta -> ta
+  | None -> failwith "warmup did not run"
 
 let bechamel_tests () =
   let open Bechamel in
@@ -39,26 +60,72 @@ let bechamel_tests () =
   let layout = Samhita.Layout.of_config cfg in
   let line_bytes = Samhita.Config.line_bytes cfg in
 
-  let diff_make =
-    (* A realistic twin/current pair: one dirty page, ~25% of its bytes
-       changed in runs (the microbenchmark's row pattern). *)
+  (* The strided false-sharing shape of Figures 5 and 8-11: at P=8 a
+     thread owns every 8th double, so its twin diff changes one 8-byte
+     slot per 64 bytes. Sparse diffs like this are where the word-wise
+     scan earns its keep — 7 of 8 words compare equal and are skipped in
+     one load each. *)
+  let diff_pair () =
     let twin = Bytes.make line_bytes '\000' in
     let current = Bytes.copy twin in
-    for i = 0 to (4096 / 16) - 1 do
-      Bytes.set_int64_le current (i * 16) 0x3FF0000000000000L
+    for i = 0 to (4096 / 64) - 1 do
+      Bytes.set_int64_le current (i * 64) 0x3FF0000000000000L
     done;
-    Test.make ~name:"diff.make (1 dirty page)"
+    (twin, current)
+  in
+  let diff_make =
+    let twin, current = diff_pair () in
+    Test.make ~name:"diff.make (strided false sharing)"
       (Staged.stage (fun () ->
            ignore
              (Samhita.Diff.make layout ~line:0 ~twin ~current ~dirty_pages:1
               : Samhita.Diff.t)))
   in
-  let diff_apply =
+  let diff_make_ref =
+    (* The retired scalar implementation on the same input, measured in
+       the same process: the diff.make speedup reported in BENCH.json is
+       the ratio of these two, immune to run-to-run machine drift. *)
+    let twin, current = diff_pair () in
+    Test.make ~name:"diff.make (reference scalar)"
+      (Staged.stage (fun () ->
+           ignore
+             (Samhita.Diff_reference.make layout ~line:0 ~twin ~current
+                ~dirty_pages:1
+              : Samhita.Diff_reference.t)))
+  in
+  (* The other shape that matters: numeric data freshly recomputed in
+     place (a Jacobi or MD sweep) changes the mantissa bytes of every
+     double but rarely its exponent byte, so every word differs
+     partially. This is the worst case for a word-wise scan (nearly
+     every word takes the byte-loop fallback) and is kept benched so it
+     cannot regress silently. *)
+  let diff_pair_dense () =
     let twin = Bytes.make line_bytes '\000' in
     let current = Bytes.copy twin in
-    for i = 0 to (4096 / 16) - 1 do
-      Bytes.set_int64_le current (i * 16) 0x3FF0000000000000L
+    for i = 0 to (4096 / 8) - 1 do
+      Bytes.set_int64_le current (i * 8) 0x0000BEEFBEEFBEEFL
     done;
+    (twin, current)
+  in
+  let diff_make_dense =
+    let twin, current = diff_pair_dense () in
+    Test.make ~name:"diff.make (dense numeric)"
+      (Staged.stage (fun () ->
+           ignore
+             (Samhita.Diff.make layout ~line:0 ~twin ~current ~dirty_pages:1
+              : Samhita.Diff.t)))
+  in
+  let diff_make_dense_ref =
+    let twin, current = diff_pair_dense () in
+    Test.make ~name:"diff.make (dense numeric, reference)"
+      (Staged.stage (fun () ->
+           ignore
+             (Samhita.Diff_reference.make layout ~line:0 ~twin ~current
+                ~dirty_pages:1
+              : Samhita.Diff_reference.t)))
+  in
+  let diff_apply =
+    let twin, current = diff_pair () in
     let d = Samhita.Diff.make layout ~line:0 ~twin ~current ~dirty_pages:1 in
     let target = Bytes.make line_bytes '\000' in
     Test.make ~name:"diff.apply"
@@ -77,6 +144,14 @@ let bechamel_tests () =
              | None -> ()
            in
            drain ()))
+  in
+  let cache_read_hit, cache_write_hit =
+    let t, a = warmed_hit_ctx () in
+    ( Test.make ~name:"thread.read_i64 (cache hit)"
+        (Staged.stage (fun () ->
+             ignore (Samhita.Thread_ctx.read_i64 t a : int64))),
+      Test.make ~name:"thread.write_i64 (cache hit)"
+        (Staged.stage (fun () -> Samhita.Thread_ctx.write_i64 t a 2L)) )
   in
   let rng_bench =
     let rng = Desim.Rng.create ~seed:7 in
@@ -109,8 +184,9 @@ let bechamel_tests () =
       (Staged.stage (fun () ->
            Samhita.Update.apply_to_line layout u ~line:0 buf))
   in
-  [ diff_make; diff_apply; heap_bench; rng_bench; arena_bench; smp_read;
-    update_apply ]
+  [ diff_make; diff_make_ref; diff_make_dense; diff_make_dense_ref;
+    diff_apply; heap_bench; cache_read_hit; cache_write_hit; rng_bench;
+    arena_bench; smp_read; update_apply ]
 
 let run_bechamel () =
   let open Bechamel in
@@ -123,6 +199,12 @@ let run_bechamel () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
+  let strip name =
+    if String.length name > 0 && name.[0] = '/' then
+      String.sub name 1 (String.length name - 1)
+    else name
+  in
+  let out = ref [] in
   List.iter
     (fun test ->
        let results = Benchmark.all cfg instances test in
@@ -130,16 +212,73 @@ let run_bechamel () =
        Hashtbl.iter
          (fun name v ->
             match Analyze.OLS.estimates v with
-            | Some [ est ] -> Printf.printf "  %-32s %10.1f ns/run\n%!" name est
+            | Some [ est ] ->
+              Printf.printf "  %-32s %10.1f ns/run\n%!" name est;
+              out := (strip name, est) :: !out
             | _ -> Printf.printf "  %-32s (no estimate)\n%!" name)
          analyzed)
     (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (bechamel_tests ()));
-  print_newline ()
+  print_newline ();
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json                                                          *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~scale ~micro ~figures =
+  let oc = open_out "BENCH.json" in
+  let field_block name entries fmt_v =
+    Printf.fprintf oc "  \"%s\": {" name;
+    List.iteri
+      (fun i (k, v) ->
+         Printf.fprintf oc "%s\n    \"%s\": %s"
+           (if i = 0 then "" else ",")
+           (json_escape k) (fmt_v v))
+      entries;
+    Printf.fprintf oc "\n  }"
+  in
+  Printf.fprintf oc "{\n  \"scale\": \"%s\",\n" scale;
+  field_block "micro_ns_per_run" micro (Printf.sprintf "%.1f");
+  (* Same-process speedup ratios: both sides of each ratio were measured
+     back to back above, so machine-wide frequency drift cancels. *)
+  let ratio label now_name ref_name =
+    match (List.assoc_opt now_name micro, List.assoc_opt ref_name micro) with
+    | Some now, Some ref_ when now > 0. -> [ (label, ref_ /. now) ]
+    | _ -> []
+  in
+  let speedups =
+    ratio "diff.make vs scalar reference" "diff.make (strided false sharing)"
+      "diff.make (reference scalar)"
+    @ ratio "diff.make (dense numeric) vs reference"
+        "diff.make (dense numeric)" "diff.make (dense numeric, reference)"
+  in
+  if speedups <> [] then begin
+    Printf.fprintf oc ",\n";
+    field_block "speedup" speedups (Printf.sprintf "%.2f")
+  end;
+  if figures <> [] then begin
+    Printf.fprintf oc ",\n";
+    field_block "figures_wall_s" figures (Printf.sprintf "%.3f")
+  end;
+  Printf.fprintf oc "\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH.json\n%!"
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let quick = List.mem "--quick" args in
   let no_micro = List.mem "--no-micro" args in
+  let json = List.mem "--json" args in
   let ids =
     List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
   in
@@ -150,5 +289,9 @@ let () =
     "Samhita/RegC reproduction benchmarks (%s scale)\n\
      one table per figure of the paper's evaluation; see EXPERIMENTS.md\n\n"
     (if quick then "quick" else "paper");
-  run_figures ~scale ~ids;
-  if not no_micro then run_bechamel ()
+  let figures = run_figures ~scale ~ids in
+  let micro = if not no_micro then run_bechamel () else [] in
+  if json then
+    write_bench_json
+      ~scale:(if quick then "quick" else "paper")
+      ~micro ~figures

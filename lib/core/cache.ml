@@ -8,6 +8,11 @@ type entry = {
   (* Sequential-consistency mode only: this copy is the line's single
      writable instance. *)
   mutable excl : bool;
+  (* Intrusive LRU chain links (see the chain invariant below). A resident
+     entry points at its neighbours or a chain sentinel; an entry not on
+     any chain is self-linked. *)
+  mutable lru_prev : entry;
+  mutable lru_next : entry;
 }
 
 type arrival = (bytes * int) option
@@ -17,6 +22,24 @@ type pending = {
   mutable waiters : (arrival -> unit) list;
 }
 
+(* Resident entries live on one of two intrusive doubly-linked chains —
+   [lru_dirty] for entries with dirty pages, [lru_clean] for the rest. The
+   chains track *membership only* (their internal order is arbitrary):
+   recency lives exclusively in the [tick] stamps, so touching an entry on
+   the access path is a single store, exactly as cheap as before the
+   chains existed. Victim selection scans one chain for the minimum tick —
+   never the whole table: the write-biased policy reads only the dirty
+   chain (typically a small fraction of residency) and falls back to the
+   clean chain, and the prefetch path reads only the clean chain. Ticks
+   are unique, so the choice equals the old full-table scan's exactly.
+   The dirty chain doubles as the maintained index for [dirty_entries].
+
+   Keeping the chains in strict LRU order instead (O(1) victim reads) was
+   measured and rejected: it moves an unlink+append onto every touch, and
+   workloads that round-robin a few lines (a stencil's rows defeat the
+   single-entry fast path in [Thread_ctx.locate]) pay it per access —
+   ~25% end-to-end on the Jacobi figure — while evictions, which the
+   ordering would speed up, are orders of magnitude rarer. *)
 type t = {
   layout : Layout.t;
   capacity : int;
@@ -24,6 +47,8 @@ type t = {
   table : (int, entry) Hashtbl.t;
   pending : (int, pending) Hashtbl.t;
   mutable tick : int;
+  lru_clean : entry;  (* sentinel *)
+  lru_dirty : entry;  (* sentinel *)
   c_hits : Desim.Stats.Counter.t;
   c_misses : Desim.Stats.Counter.t;
   c_evictions : Desim.Stats.Counter.t;
@@ -32,6 +57,14 @@ type t = {
   c_prefetch_installs : Desim.Stats.Counter.t;
 }
 
+let sentinel () =
+  let rec s =
+    { line = -1; data = Bytes.empty; version = 0; twin = None;
+      dirty_pages = 0; tick = min_int; excl = false; lru_prev = s;
+      lru_next = s }
+  in
+  s
+
 let create (cfg : Config.t) layout =
   { layout;
     capacity = cfg.Config.cache_lines;
@@ -39,6 +72,8 @@ let create (cfg : Config.t) layout =
     table = Hashtbl.create 256;
     pending = Hashtbl.create 16;
     tick = 0;
+    lru_clean = sentinel ();
+    lru_dirty = sentinel ();
     c_hits = Desim.Stats.Counter.create ();
     c_misses = Desim.Stats.Counter.create ();
     c_evictions = Desim.Stats.Counter.create ();
@@ -49,6 +84,28 @@ let create (cfg : Config.t) layout =
 let capacity t = t.capacity
 let size t = Hashtbl.length t.table
 
+let is_dirty e = e.dirty_pages <> 0
+
+(* ---- intrusive chain primitives ---- *)
+
+(* Idempotent: unlinking a self-linked entry is a no-op. *)
+let unlink e =
+  e.lru_prev.lru_next <- e.lru_next;
+  e.lru_next.lru_prev <- e.lru_prev;
+  e.lru_prev <- e;
+  e.lru_next <- e
+
+(* Chain order is arbitrary; push anywhere cheap (the front). *)
+let push (s : entry) (e : entry) =
+  e.lru_prev <- s;
+  e.lru_next <- s.lru_next;
+  s.lru_next.lru_prev <- e;
+  s.lru_next <- e
+
+let linked e = e.lru_next != e
+
+(* The access path: recency is the tick stamp alone, so this stays the
+   single store it was before the chains existed. *)
 let touch t (e : entry) =
   t.tick <- t.tick + 1;
   e.tick <- t.tick
@@ -60,28 +117,48 @@ let find t line =
     Some e
   | None -> None
 
+(* [find] without the option wrapper: [Hashtbl.find_opt] allocates a
+   [Some] and [find] rebuilds another, two minor blocks on every access
+   whose line differs from the previous one (any stencil kernel defeats
+   the single-entry fast path). The hot callers match the exception
+   inline, so no [Some] is ever built on the hit path. *)
+let find_exn t line =
+  let e = Hashtbl.find t.table line in
+  touch t e;
+  e
+
 let peek t line = Hashtbl.find_opt t.table line
 
-let is_dirty e = e.dirty_pages <> 0
-
-(* Scan for the LRU victim; with the write-biased policy dirty lines are
-   preferred (flushing them cheapens future consistency points). *)
-let choose_victim t ~allow_dirty =
-  let best = ref None in
-  let better cand =
-    match !best with
-    | None -> true
-    | Some b ->
-      if t.evict_dirty_first && is_dirty cand <> is_dirty b then
-        (* Prefer dirty when allowed; among equals fall through to LRU. *)
-        is_dirty cand
-      else cand.tick < b.tick
+(* Minimum-tick entry of one chain (ticks are unique, so the walk order
+   cannot matter). *)
+let chain_oldest (s : entry) =
+  let rec go (at : entry) (best : entry option) =
+    if at == s then best
+    else
+      go at.lru_next
+        (match best with
+         | Some b when b.tick < at.tick -> best
+         | _ -> Some at)
   in
-  Hashtbl.iter
-    (fun _ e ->
-       if (allow_dirty || not (is_dirty e)) && better e then best := Some e)
-    t.table;
-  !best
+  go s.lru_next None
+
+(* Scans only the relevant chain(s); equivalent to the old full-table scan
+   (see the chain invariant above). *)
+let choose_victim t ~allow_dirty =
+  if t.evict_dirty_first then begin
+    let d = if allow_dirty then chain_oldest t.lru_dirty else None in
+    match d with Some _ -> d | None -> chain_oldest t.lru_clean
+  end
+  else
+    let d = if allow_dirty then chain_oldest t.lru_dirty else None in
+    let c = chain_oldest t.lru_clean in
+    match (d, c) with
+    | None, v | v, None -> v
+    | Some de, Some ce -> if de.tick < ce.tick then Some de else Some ce
+
+let remove t (e : entry) =
+  unlink e;
+  Hashtbl.remove t.table e.line
 
 let insert t ~line ~data ~version ~evict =
   (* The caller may have yielded between detecting the miss and calling
@@ -102,18 +179,20 @@ let insert t ~line ~data ~version ~evict =
           Desim.Stats.Counter.incr t.c_dirty_evictions;
         (* [evict] may flush (and yield); re-check afterwards. *)
         evict victim;
-        Hashtbl.remove t.table victim.line
+        remove t victim
     end;
     (match Hashtbl.find_opt t.table line with
      | Some e ->
        touch t e;
        e
      | None ->
-       let e =
+       let rec e =
          { line; data; version; twin = None; dirty_pages = 0; tick = 0;
-          excl = false }
+           excl = false; lru_prev = e; lru_next = e }
        in
-       touch t e;
+       t.tick <- t.tick + 1;
+       e.tick <- t.tick;
+       push t.lru_clean e;
        Hashtbl.replace t.table line e;
        e)
 
@@ -129,7 +208,7 @@ let ensure_room t ~line ~evict =
         Desim.Stats.Counter.incr t.c_evictions;
         if is_dirty victim then Desim.Stats.Counter.incr t.c_dirty_evictions;
         evict victim;
-        Hashtbl.remove t.table victim.line;
+        remove t victim;
         go ()
     end
   in
@@ -144,16 +223,18 @@ let try_install t ~line ~data ~version =
         match choose_victim t ~allow_dirty:false with
         | Some victim ->
           Desim.Stats.Counter.incr t.c_evictions;
-          Hashtbl.remove t.table victim.line;
+          remove t victim;
           true
         | None -> false
     in
     if have_room then begin
-      let e =
+      let rec e =
         { line; data; version; twin = None; dirty_pages = 0; tick = 0;
-          excl = false }
+          excl = false; lru_prev = e; lru_next = e }
       in
-      touch t e;
+      t.tick <- t.tick + 1;
+      e.tick <- t.tick;
+      push t.lru_clean e;
       Hashtbl.replace t.table line e;
       Desim.Stats.Counter.incr t.c_prefetch_installs
     end;
@@ -161,34 +242,52 @@ let try_install t ~line ~data ~version =
   end
 
 let mark_written t e ~offset ~len =
-  if e.twin = None then e.twin <- Some (Bytes.copy e.data);
+  (match e.twin with
+   | None -> e.twin <- Some (Bytes.copy e.data)
+   | Some _ -> ());
+  let was_dirty = is_dirty e in
   let first = Layout.page_in_line t.layout ~offset in
   let last = Layout.page_in_line t.layout ~offset:(offset + len - 1) in
   for p = first to last do
     e.dirty_pages <- e.dirty_pages lor (1 lsl p)
-  done
+  done;
+  if (not was_dirty) && is_dirty e && linked e then begin
+    unlink e;
+    push t.lru_dirty e
+  end
 
 let invalidate t line =
-  if Hashtbl.mem t.table line then begin
-    Desim.Stats.Counter.incr t.c_invalidations;
-    Hashtbl.remove t.table line
-  end;
+  (match Hashtbl.find_opt t.table line with
+   | Some e ->
+     Desim.Stats.Counter.incr t.c_invalidations;
+     remove t e
+   | None -> ());
   match Hashtbl.find_opt t.pending line with
   | Some p -> p.stale <- true
   | None -> ()
 
+(* Walk the dirty chain (the maintained index) instead of folding the
+   whole table; only the handful of dirty entries pay the sort. *)
 let dirty_entries t =
-  Hashtbl.fold (fun _ e acc -> if is_dirty e then e :: acc else acc) t.table []
-  |> List.sort (fun a b -> compare a.line b.line)
+  let rec collect at acc =
+    if at == t.lru_dirty then acc else collect at.lru_next (at :: acc)
+  in
+  collect t.lru_dirty.lru_next []
+  |> List.sort (fun a b -> Int.compare a.line b.line)
 
 let entries t =
   Hashtbl.fold (fun _ e acc -> e :: acc) t.table []
-  |> List.sort (fun a b -> compare a.line b.line)
+  |> List.sort (fun a b -> Int.compare a.line b.line)
 
-let clean _t e ~version =
+let clean t e ~version =
   e.twin <- None;
+  let was_dirty = is_dirty e in
   e.dirty_pages <- 0;
-  e.version <- version
+  e.version <- version;
+  if was_dirty && linked e then begin
+    unlink e;
+    push t.lru_clean e
+  end
 
 let pending_start t line =
   if Hashtbl.mem t.pending line then false

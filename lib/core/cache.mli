@@ -10,18 +10,31 @@
     The cache is pure bookkeeping: fetching, timing and protocol decisions
     live in {!Thread_ctx}. Eviction selection honours the paper's
     write-biased policy; actually flushing a dirty victim is the caller's
-    job (the [evict] callback). *)
+    job (the [evict] callback).
+
+    Entries live on two intrusive doubly-linked chains (dirty and clean)
+    tracking membership only; recency is the [tick] stamp, so the access
+    path stays a single store. Victim selection scans one chain for the
+    minimum tick instead of the whole table — the write-biased policy
+    reads the (typically small) dirty chain first — and the dirty chain
+    doubles as the maintained index behind {!dirty_entries}. *)
 
 type entry = {
   line : int;
   data : bytes;
   mutable version : int;  (** Home version this copy corresponds to. *)
   mutable twin : bytes option;
-  mutable dirty_pages : int;  (** Bitmask over pages of the line. *)
+  mutable dirty_pages : int;
+      (** Bitmask over pages of the line. Mutate only through
+          {!mark_written}/{!clean} — the LRU chains key on it. *)
   mutable tick : int;  (** Last-use stamp for LRU. *)
   mutable excl : bool;
       (** Sequential-consistency mode: held exclusive (sole writer). *)
+  mutable lru_prev : entry;  (** Internal: intrusive LRU chain link. *)
+  mutable lru_next : entry;  (** Internal: intrusive LRU chain link. *)
 }
+(** The chain links make entries cyclic values: compare entries with [==],
+    never with polymorphic [=]. *)
 
 type t
 
@@ -34,6 +47,11 @@ val find : t -> int -> entry option
 (** Lookup by line id; refreshes LRU state. The single-entry fast path for
     repeated hits on one line lives in {!Thread_ctx}; this is the general
     path. *)
+
+val find_exn : t -> int -> entry
+(** [find] without the option: raises [Not_found] on a miss. The
+    allocation-free variant for the per-access path in {!Thread_ctx};
+    callers match the exception inline ([match ... with exception]). *)
 
 val peek : t -> int -> entry option
 (** Lookup without touching LRU state. *)

@@ -13,6 +13,7 @@ type t = {
   stripe_lines : int;
   update_log_history : int;
   manager_bypass : bool;
+  coalesce_updates : bool;
   t_mem : float;
   t_flop : float;
   server_service : Desim.Time.span;
@@ -44,6 +45,7 @@ let default =
     stripe_lines = 4;
     update_log_history = 64;
     manager_bypass = false;
+    coalesce_updates = false;
     t_mem = 1.2;
     t_flop = 0.8;
     server_service = Desim.Time.ns 1_500;
@@ -111,7 +113,7 @@ let pp ppf t =
     "@[<v>model=%s page=%dB line=%dpages cache=%dlines prefetch=%b dirty-first=%b sanitize=%b@ \
      torture: faults=%s shuffle=%b seed=%d@ \
      alloc: small<=%d large>%d arena=%d stripe=%d@ \
-     regc: history=%d bypass=%b@ \
+     regc: history=%d bypass=%b coalesce=%b@ \
      cost: mem=%.2fns flop=%.2fns server=%a manager=%a diff=%.3fns/B@ \
      layout: %d server(s), %d threads/node, %s@]"
     (model_name t.model)
@@ -120,6 +122,7 @@ let pp ppf t =
     (Fabric.Faults.level_name t.fault_level)
     t.shuffle t.seed t.small_threshold t.large_threshold
     t.arena_chunk_bytes t.stripe_lines t.update_log_history t.manager_bypass
+    t.coalesce_updates
     t.t_mem t.t_flop Desim.Time.pp_span t.server_service Desim.Time.pp_span
     t.manager_service t.diff_apply_ns_per_byte t.memory_servers
     t.threads_per_node t.fabric.Fabric.Profile.name

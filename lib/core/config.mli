@@ -43,6 +43,14 @@ type t = {
   manager_bypass : bool;
       (** Paper §V (future work): on a single compute node, synchronize
           locally instead of a manager round trip. *)
+  coalesce_updates : bool;
+      (** Merge a consistency-region store into the head of the region log
+          when it exactly overwrites it or extends it contiguously (e.g. a
+          counter updated in place, adjacent fields written in order).
+          Replayed oldest-first the log yields the same memory, but fewer
+          records travel at release — so wire bytes and simulated service
+          times shift. Off by default to keep figure outputs identical to
+          the seed build. *)
   (* Cost model, nanoseconds *)
   t_mem : float;  (** Per cached (hit) memory access. *)
   t_flop : float;  (** Per floating-point operation. *)

@@ -1,6 +1,18 @@
 type span = { offset : int; data : bytes }
 
-type t = { line : int; spans : span list }
+(* Packed representation: span boundaries live in two int arrays and the
+   changed bytes in one concatenated payload buffer, filled in offset
+   order. Building it allocates exactly three blocks (plus the record)
+   regardless of how many spans the line produced — the span-list layout
+   paid a Bytes.sub, a record and two conses per span, which dominated
+   Diff.make for fragmented lines (e.g. byte-interleaved false sharing). *)
+type t = {
+  line : int;
+  count : int;  (* number of spans *)
+  offs : int array;  (* span offsets within the line, ascending *)
+  lens : int array;  (* span lengths, parallel to [offs] *)
+  payload : bytes;  (* span bytes, concatenated in offset order *)
+}
 
 (* Diffs are byte-exact: a span carries only bytes that actually changed.
    Coalescing across small unchanged gaps would be cheaper on the wire but
@@ -13,59 +25,159 @@ let coalesce_gap = 1
 let span_framing = 12
 let diff_framing = 16
 
-(* Scan [lo, hi) for maximal runs of differing bytes. *)
-let scan_region ~twin ~current ~lo ~hi acc =
-  let acc = ref acc in
-  let run_start = ref (-1) in
-  let gap = ref 0 in
-  let flush_at stop =
-    if !run_start >= 0 then begin
-      let len = stop - !run_start in
-      let data = Bytes.sub current !run_start len in
-      acc := { offset = !run_start; data } :: !acc;
-      run_start := -1
-    end
-  in
-  for i = lo to hi - 1 do
-    if Bytes.unsafe_get twin i <> Bytes.unsafe_get current i then begin
-      if !run_start < 0 then run_start := i;
-      gap := 0
-    end
-    else if !run_start >= 0 then begin
-      incr gap;
-      if !gap >= coalesce_gap then begin
-        flush_at (i - !gap + 1);
-        gap := 0
-      end
-    end
-  done;
-  if !run_start >= 0 then flush_at (hi - !gap);
-  !acc
+(* Short copies skip the C-call overhead of [Bytes.blit]. *)
+let small_blit src spos dst dpos len =
+  if len <= 16 then
+    for k = 0 to len - 1 do
+      Bytes.unsafe_set dst (dpos + k) (Bytes.unsafe_get src (spos + k))
+    done
+  else Bytes.blit src spos dst dpos len
+
+(* Span-boundary scratch reused across calls, grown geometrically and
+   never shrunk. Safe because the simulator runs in a single domain and
+   [make] never re-enters (it calls no user code). *)
+let scratch_offs = ref (Array.make 128 0)
+let scratch_lens = ref (Array.make 128 0)
+
+let ensure_scratch n =
+  let cur = Array.length !scratch_offs in
+  if n >= cur then begin
+    let cap = ref cur in
+    while n >= !cap do
+      cap := !cap * 2
+    done;
+    let offs = Array.make !cap 0 and lens = Array.make !cap 0 in
+    Array.blit !scratch_offs 0 offs 0 cur;
+    Array.blit !scratch_lens 0 lens 0 cur;
+    scratch_offs := offs;
+    scratch_lens := lens
+  end
 
 let make (layout : Layout.t) ~line ~twin ~current ~dirty_pages =
   if Bytes.length twin <> layout.Layout.line_bytes
      || Bytes.length current <> layout.Layout.line_bytes
   then invalid_arg "Diff.make: buffers must be line-sized";
+  (* One pass over the dirty pages records span boundaries in the scratch
+     arrays; the exact-size result is copied out afterwards. The scan
+     compares 8 bytes at a time (a native 64-bit load; the typer
+     specializes [<>] at int64 to an unboxed comparison) and narrows to
+     byte granularity only inside words that differ or at a run boundary,
+     so the recorded runs are byte-for-byte those of the scalar scan.
+
+     The emit sites are spelled out inline rather than shared through
+     local closures: with no closure capturing them, the state refs below
+     compile to mutable locals (registers), and scratch is pre-sized to
+     the worst case (alternating differ/equal bytes) so emits skip the
+     capacity check. Both matter — the closured version measured ~1.6x
+     slower on fragmented lines. *)
+  ensure_scratch ((layout.Layout.line_bytes / 2) + 1);
+  let offs = !scratch_offs and lens = !scratch_lens in
+  let count = ref 0 and total = ref 0 in
+  let run_start = ref (-1) in
   let page = layout.Layout.page_bytes in
-  let spans = ref [] in
   for p = 0 to layout.Layout.pages_per_line - 1 do
-    if dirty_pages land (1 lsl p) <> 0 then
-      spans := scan_region ~twin ~current ~lo:(p * page) ~hi:((p + 1) * page)
-          !spans
+    if dirty_pages land (1 lsl p) <> 0 then begin
+      let lo = p * page and hi = (p + 1) * page in
+      let word_end = lo + ((hi - lo) land lnot 7) in
+      let i = ref lo in
+      while !i < word_end do
+        (* A differing word falls back to the plain byte loop. Two fancier
+           schemes were measured and rejected: an all-bytes-differ fast
+           path (has-zero-byte trick on the XOR) taxes the partial-word
+           words every numeric kernel produces — a double's mantissa
+           changes, its exponent byte does not — and walking the word's
+           bytes out of the XOR image with shift-and-mask tests loses to
+           the byte reloads, which hit L1 and cost less than the extra
+           shifts and branches. *)
+        (if Bytes.get_int64_ne twin !i <> Bytes.get_int64_ne current !i
+         then
+           for j = !i to !i + 7 do
+             if Bytes.unsafe_get twin j <> Bytes.unsafe_get current j
+             then begin
+               if !run_start < 0 then run_start := j
+             end
+             else if !run_start >= 0 then begin
+               let n = !count in
+               Array.unsafe_set offs n !run_start;
+               Array.unsafe_set lens n (j - !run_start);
+               total := !total + (j - !run_start);
+               count := n + 1;
+               run_start := -1
+             end
+           done
+         else if !run_start >= 0 then begin
+           let n = !count in
+           Array.unsafe_set offs n !run_start;
+           Array.unsafe_set lens n (!i - !run_start);
+           total := !total + (!i - !run_start);
+           count := n + 1;
+           run_start := -1
+         end);
+        i := !i + 8
+      done;
+      for j = word_end to hi - 1 do
+        if Bytes.unsafe_get twin j <> Bytes.unsafe_get current j then begin
+          if !run_start < 0 then run_start := j
+        end
+        else if !run_start >= 0 then begin
+          let n = !count in
+          Array.unsafe_set offs n !run_start;
+          Array.unsafe_set lens n (j - !run_start);
+          total := !total + (j - !run_start);
+          count := n + 1;
+          run_start := -1
+        end
+      done;
+      (* Runs never cross a page boundary (matching the scalar scan, which
+         flushed at each region's end). *)
+      if !run_start >= 0 then begin
+        let n = !count in
+        Array.unsafe_set offs n !run_start;
+        Array.unsafe_set lens n (hi - !run_start);
+        total := !total + (hi - !run_start);
+        count := n + 1;
+        run_start := -1
+      end
+    end
   done;
-  { line; spans = List.rev !spans }
+  if !count = 0 then
+    { line; count = 0; offs = [||]; lens = [||]; payload = Bytes.empty }
+  else begin
+    let n = !count in
+    let offs = Array.sub offs 0 n in
+    let lens = Array.sub lens 0 n in
+    let payload = Bytes.create !total in
+    let pos = ref 0 in
+    for i = 0 to n - 1 do
+      let len = Array.unsafe_get lens i in
+      small_blit current (Array.unsafe_get offs i) payload !pos len;
+      pos := !pos + len
+    done;
+    { line; count = n; offs; lens; payload }
+  end
 
 let apply t buf =
-  List.iter
-    (fun { offset; data } ->
-       Bytes.blit data 0 buf offset (Bytes.length data))
-    t.spans
+  let pos = ref 0 in
+  for i = 0 to t.count - 1 do
+    let len = Array.unsafe_get t.lens i in
+    small_blit t.payload !pos buf (Array.unsafe_get t.offs i) len;
+    pos := !pos + len
+  done
 
-let is_empty t = t.spans = []
-let span_count t = List.length t.spans
+let is_empty t = t.count = 0
+let span_count t = t.count
 
-let payload_bytes t =
-  List.fold_left (fun acc s -> acc + Bytes.length s.data) 0 t.spans
+let payload_bytes t = Bytes.length t.payload
 
 let wire_bytes t =
-  diff_framing + (span_framing * span_count t) + payload_bytes t
+  diff_framing + (span_framing * t.count) + payload_bytes t
+
+let spans t =
+  let rec build i pos acc =
+    if i < 0 then acc
+    else
+      let pos = pos - t.lens.(i) in
+      let data = Bytes.sub t.payload pos t.lens.(i) in
+      build (i - 1) pos ({ offset = t.offs.(i); data } :: acc)
+  in
+  build (t.count - 1) (Bytes.length t.payload) []

@@ -10,7 +10,17 @@
 type span = { offset : int; data : bytes }
 (** A run of modified bytes at [offset] within the line. *)
 
-type t = { line : int; spans : span list }
+type t = private {
+  line : int;
+  count : int;  (** Number of spans. *)
+  offs : int array;  (** Span offsets within the line, ascending. *)
+  lens : int array;  (** Span lengths, parallel to [offs]. *)
+  payload : bytes;  (** Span bytes, concatenated in offset order. *)
+}
+(** Spans are packed — boundaries in two int arrays, changed bytes in one
+    concatenated buffer — so building a diff costs a fixed handful of
+    allocations however fragmented the line is. Use {!spans} for the
+    materialised per-span view. *)
 
 val make :
   Layout.t -> line:int -> twin:bytes -> current:bytes -> dirty_pages:int -> t
@@ -25,6 +35,10 @@ val apply : t -> bytes -> unit
 
 val is_empty : t -> bool
 val span_count : t -> int
+
+val spans : t -> span list
+(** Materialise the spans (offset-ascending). Allocates; for tests and
+    debugging — hot paths read the packed fields directly. *)
 
 val payload_bytes : t -> int
 (** Total modified bytes carried. *)

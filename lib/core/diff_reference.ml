@@ -1,0 +1,70 @@
+(* The original scalar diff implementation, kept verbatim as an executable
+   specification: equivalence tests check the word-wise {!Diff} against it
+   span for span, and the benchmark driver measures both back to back so
+   the reported speedup is a same-process ratio, immune to machine-wide
+   frequency drift between runs. Not used on any simulation path. *)
+
+type span = { offset : int; data : bytes }
+
+type t = { line : int; spans : span list }
+
+let coalesce_gap = 1
+let span_framing = 12
+let diff_framing = 16
+
+(* Scan [lo, hi) for maximal runs of differing bytes. *)
+let scan_region ~twin ~current ~lo ~hi acc =
+  let acc = ref acc in
+  let run_start = ref (-1) in
+  let gap = ref 0 in
+  let flush_at stop =
+    if !run_start >= 0 then begin
+      let len = stop - !run_start in
+      let data = Bytes.sub current !run_start len in
+      acc := { offset = !run_start; data } :: !acc;
+      run_start := -1
+    end
+  in
+  for i = lo to hi - 1 do
+    if Bytes.unsafe_get twin i <> Bytes.unsafe_get current i then begin
+      if !run_start < 0 then run_start := i;
+      gap := 0
+    end
+    else if !run_start >= 0 then begin
+      incr gap;
+      if !gap >= coalesce_gap then begin
+        flush_at (i - !gap + 1);
+        gap := 0
+      end
+    end
+  done;
+  if !run_start >= 0 then flush_at (hi - !gap);
+  !acc
+
+let make (layout : Layout.t) ~line ~twin ~current ~dirty_pages =
+  if Bytes.length twin <> layout.Layout.line_bytes
+     || Bytes.length current <> layout.Layout.line_bytes
+  then invalid_arg "Diff.make: buffers must be line-sized";
+  let page = layout.Layout.page_bytes in
+  let spans = ref [] in
+  for p = 0 to layout.Layout.pages_per_line - 1 do
+    if dirty_pages land (1 lsl p) <> 0 then
+      spans := scan_region ~twin ~current ~lo:(p * page) ~hi:((p + 1) * page)
+          !spans
+  done;
+  { line; spans = List.rev !spans }
+
+let apply t buf =
+  List.iter
+    (fun { offset; data } ->
+       Bytes.blit data 0 buf offset (Bytes.length data))
+    t.spans
+
+let is_empty t = t.spans = []
+let span_count t = List.length t.spans
+
+let payload_bytes t =
+  List.fold_left (fun acc s -> acc + Bytes.length s.data) 0 t.spans
+
+let wire_bytes t =
+  diff_framing + (span_framing * span_count t) + payload_bytes t

@@ -1,0 +1,22 @@
+(** The pre-optimization scalar diff, kept as an executable specification.
+
+    {!Diff} scans word-wise and packs its spans; this module is the
+    original byte-at-a-time, span-list implementation it must agree with.
+    Equivalence tests compare the two span for span on random inputs, and
+    the benchmark driver measures both back to back so the reported
+    speedup is a same-process ratio. Never used on a simulation path. *)
+
+type span = { offset : int; data : bytes }
+(** A run of modified bytes at [offset] within the line. *)
+
+type t = { line : int; spans : span list }
+
+val make :
+  Layout.t -> line:int -> twin:bytes -> current:bytes -> dirty_pages:int -> t
+
+val apply : t -> bytes -> unit
+val is_empty : t -> bool
+val span_count : t -> int
+val payload_bytes : t -> int
+val wire_bytes : t -> int
+val coalesce_gap : int

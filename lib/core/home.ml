@@ -13,4 +13,4 @@ let group_lines_by_server cfg lines =
        Hashtbl.replace tbl s (line :: existing))
     lines;
   Hashtbl.fold (fun s ls acc -> (s, List.rev ls) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -18,8 +18,11 @@ type t = {
   endpoint : Fabric.Scl.endpoint;
   cache : Cache.t;
   arena : Allocator.Arena.t;
-  (* Local compute time not yet synchronized with the global clock. *)
-  mutable accum : float;
+  (* Local compute time not yet synchronized with the global clock. A
+     one-element [floatarray] rather than a mutable float field: the field
+     would box a fresh float on every store, and this is written on every
+     memory access. *)
+  accum : floatarray;
   (* Single-line fast path for the common repeated-hit case. *)
   mutable last : Cache.entry option;
   (* Held locks, innermost first, each with its consistency-region store
@@ -55,7 +58,7 @@ let create e ~id ~node =
       endpoint = Fabric.Scl.endpoint e.network node;
       cache = Cache.create e.cfg e.layout;
       arena = Allocator.Arena.create ();
-      accum = 0.;
+      accum = Float.Array.make 1 0.;
       last = None;
       held = [];
       lock_seen = Hashtbl.create 8;
@@ -99,14 +102,16 @@ let endpoint t = t.endpoint
 let now t = Desim.Engine.now t.e.engine
 
 let sync_clock t =
-  if t.accum > 0. then begin
-    let d = Desim.Time.span_of_float_ns t.accum in
-    t.accum <- 0.;
+  let a = Float.Array.unsafe_get t.accum 0 in
+  if a > 0. then begin
+    let d = Desim.Time.span_of_float_ns a in
+    Float.Array.unsafe_set t.accum 0 0.;
     t.m_compute <- t.m_compute + d;
     Desim.Engine.delay d
   end
 
-let charge t ns = t.accum <- t.accum +. ns
+let charge t ns =
+  Float.Array.unsafe_set t.accum 0 (Float.Array.unsafe_get t.accum 0 +. ns)
 let charge_flops t n = charge t (float_of_int n *. t.e.cfg.Config.t_flop)
 
 let server_of t line =
@@ -162,6 +167,21 @@ let probe_write t ~addr ~len ~value =
   match t.e.probe with
   | None -> ()
   | Some p -> p.Probe.on_write ~thread:t.id ~time:(now t) ~addr ~len ~value
+
+(* i64 variants: the [Some v] option cell is built only after the observer
+   check, so the disabled-probe path (the default) allocates nothing. *)
+
+let probe_read_i64 t ~addr v =
+  match t.e.probe with
+  | None -> ()
+  | Some p ->
+    p.Probe.on_read ~thread:t.id ~time:(now t) ~addr ~len:8 ~value:(Some v)
+
+let probe_write_i64 t ~addr v =
+  match t.e.probe with
+  | None -> ()
+  | Some p ->
+    p.Probe.on_write ~thread:t.id ~time:(now t) ~addr ~len:8 ~value:(Some v)
 
 (* Publication: the home's line now holds the merged bytes at [version];
    this is the instant the data becomes RegC-visible to later acquirers
@@ -246,7 +266,9 @@ let flush_dirty_all t =
              Hashtbl.replace by_server s ((entry, diff) :: existing)
            end)
       dirty;
-    let servers = List.sort compare (Hashtbl.fold (fun s _ a -> s :: a) by_server []) in
+    let servers =
+      List.sort Int.compare (Hashtbl.fold (fun s _ a -> s :: a) by_server [])
+    in
     List.concat_map
       (fun s ->
          let batch = List.rev (Hashtbl.find by_server s) in
@@ -518,10 +540,12 @@ let sc_acquire_exclusive t line ~commit : Cache.entry =
   delay_until t reply;
   entry
 
-(* Locate the cache entry for [addr], faulting it in on a miss. Returns
-   the entry and the offset within the line. Miss stalls count as compute
-   time, matching the paper's measurement split. *)
-let locate t addr =
+(* Locate the cache entry for [addr], faulting it in on a miss. The
+   caller derives the line offset with {!line_off} — returning the entry
+   alone keeps the repeated-hit path free of the per-access tuple it used
+   to build. Miss stalls count as compute time, matching the paper's
+   measurement split. *)
+let locate t addr : Cache.entry =
   let line = addr lsr t.e.layout.Layout.line_shift in
   let entry =
     match t.last with
@@ -529,22 +553,22 @@ let locate t addr =
       Cache.note_hit t.cache;
       e
     | _ -> (
-        match Cache.find t.cache line with
-        | Some e ->
+        match Cache.find_exn t.cache line with
+        | e ->
           Cache.note_hit t.cache;
           t.last <- Some e;
           e
-        | None ->
+        | exception Not_found ->
           (* Sync the clock before classifying: accumulated local time may
              let an in-flight prefetch of this very line land, turning the
              would-be miss into a hit. *)
           sync_clock t;
-          (match Cache.find t.cache line with
-           | Some e ->
+          (match Cache.find_exn t.cache line with
+           | e ->
              Cache.note_hit t.cache;
              t.last <- Some e;
              e
-           | None ->
+           | exception Not_found ->
              Cache.note_miss t.cache;
              let start = now t in
              let e =
@@ -563,14 +587,16 @@ let locate t addr =
               | _ -> t.last <- None);
              e))
   in
-  t.accum <- t.accum +. t.e.cfg.Config.t_mem;
-  (entry, addr land t.e.layout.Layout.line_mask)
+  charge t t.e.cfg.Config.t_mem;
+  entry
+
+let line_off t addr = addr land t.e.layout.Layout.line_mask
 
 (* SC store driver: fast path on an exclusively-held line, else the full
    acquire transaction with the store committed inside it. [store] writes
    into the entry at the line offset and must not yield. *)
 let sc_store t addr ~store =
-  t.accum <- t.accum +. t.e.cfg.Config.t_mem;
+  charge t t.e.cfg.Config.t_mem;
   let line = addr lsr t.e.layout.Layout.line_shift in
   let off = addr land t.e.layout.Layout.line_mask in
   match t.last with
@@ -603,22 +629,23 @@ let check_aligned addr =
 
 let read_i64 t addr =
   check_aligned addr;
-  let entry, off = locate t addr in
+  let entry = locate t addr in
   san_read t ~addr ~len:8;
-  let v = Bytes.get_int64_le entry.Cache.data off in
-  probe_read t ~addr ~len:8 ~value:(Some v);
+  let v = Bytes.get_int64_le entry.Cache.data (line_off t addr) in
+  probe_read_i64 t ~addr v;
   v
 
 let write_i64 t addr v =
   check_aligned addr;
   san_write t ~addr ~len:8;
-  probe_write t ~addr ~len:8 ~value:(Some v);
+  probe_write_i64 t ~addr v;
   match t.e.cfg.Config.model with
   | Config.Sc_invalidate ->
     sc_store t addr ~store:(fun (e : Cache.entry) off ->
         Bytes.set_int64_le e.Cache.data off v)
   | Config.Regc ->
-    let entry, off = locate t addr in
+    let entry = locate t addr in
+    let off = line_off t addr in
     (* Dirty tracking must precede the store: the twin snapshots the
        pre-store contents, or the store would be absent from its own
        diff. *)
@@ -629,7 +656,9 @@ let write_i64 t addr v =
           it can never be picked up a second time by this thread's
           ordinary-region diff — that stale re-flush would overwrite
           later holders' updates at the home. *)
-       log := Update.of_i64 ~addr v :: !log;
+       log :=
+         Update.append ~coalesce:t.e.cfg.Config.coalesce_updates !log
+           ~addr (Update.i64_data v);
        (match entry.Cache.twin with
         | Some twin -> Bytes.set_int64_le twin off v
         | None -> ())
@@ -643,7 +672,7 @@ let write_f64 t addr v = write_i64 t addr (Int64.bits_of_float v)
    one cached-access cost per 8 bytes touched (locate charges the first). *)
 let charge_extra_words t seg =
   if seg > 8 then
-    t.accum <- t.accum +. (float_of_int ((seg - 1) / 8) *. t.e.cfg.Config.t_mem)
+    charge t (float_of_int ((seg - 1) / 8) *. t.e.cfg.Config.t_mem)
 
 let write_bytes t addr src =
   let len = Bytes.length src in
@@ -664,12 +693,15 @@ let write_bytes t addr src =
           Bytes.blit src from e.Cache.data off seg);
       pos := !pos + seg
     | Config.Regc ->
-      let entry, off = locate t a in
+      let entry = locate t a in
+      let off = line_off t a in
       let seg = min (len - !pos) (t.e.layout.Layout.line_bytes - off) in
       charge_extra_words t seg;
       (match t.held with
        | (_, log) :: _ ->
-         log := { Update.addr = a; data = Bytes.sub src !pos seg } :: !log;
+         log :=
+           Update.append ~coalesce:t.e.cfg.Config.coalesce_updates !log
+             ~addr:a (Bytes.sub src !pos seg);
          (match entry.Cache.twin with
           | Some twin -> Bytes.blit src !pos twin off seg
           | None -> ())
@@ -688,7 +720,8 @@ let read_bytes t addr ~len =
   let pos = ref 0 in
   while !pos < len do
     let a = addr + !pos in
-    let entry, off = locate t a in
+    let entry = locate t a in
+    let off = line_off t a in
     let seg = min (len - !pos) (t.e.layout.Layout.line_bytes - off) in
     charge_extra_words t seg;
     Bytes.blit entry.Cache.data off out !pos seg;
@@ -697,10 +730,10 @@ let read_bytes t addr ~len =
   out
 
 let read_u8 t addr =
-  let entry, off = locate t addr in
+  let entry = locate t addr in
   san_read t ~addr ~len:1;
   probe_read t ~addr ~len:1 ~value:None;
-  Char.code (Bytes.get entry.Cache.data off)
+  Char.code (Bytes.get entry.Cache.data (line_off t addr))
 
 let write_u8 t addr v =
   if v < 0 || v > 255 then invalid_arg "Samhita.write_u8: value out of range";
@@ -713,10 +746,10 @@ let check_aligned4 addr =
 
 let read_i32 t addr =
   check_aligned4 addr;
-  let entry, off = locate t addr in
+  let entry = locate t addr in
   san_read t ~addr ~len:4;
   probe_read t ~addr ~len:4 ~value:None;
-  Bytes.get_int32_le entry.Cache.data off
+  Bytes.get_int32_le entry.Cache.data (line_off t addr)
 
 let write_i32 t addr v =
   check_aligned4 addr;
@@ -884,7 +917,7 @@ let flush_update_log t log =
          Hashtbl.replace by_server s (u :: existing))
       log;
     let servers =
-      List.sort compare (Hashtbl.fold (fun s _ a -> s :: a) by_server [])
+      List.sort Int.compare (Hashtbl.fold (fun s _ a -> s :: a) by_server [])
     in
     let merged = Hashtbl.create 16 in
     List.iter

@@ -11,7 +11,7 @@ type figure = {
 
 let xs fig =
   List.concat_map (fun s -> List.map fst s.points) fig.series
-  |> List.sort_uniq compare
+  |> List.sort_uniq Float.compare
 
 let value_at fig ~label ~x =
   match List.find_opt (fun s -> s.label = label) fig.series with

@@ -88,7 +88,8 @@ let spawn t ?(delay = 0) ?(name = "process") body =
 
 let blocked_names t =
   Hashtbl.fold (fun pid name acc -> (pid, name) :: acc) t.names []
-  |> List.sort compare |> List.map snd
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd
 
 let step t =
   match Heap.pop t.queue with

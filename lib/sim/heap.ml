@@ -1,16 +1,31 @@
-type 'a entry = { time : int; prio : int; seq : int; payload : 'a }
+(* Unboxed parallel-arrays layout: the key fields live in three plain int
+   arrays and the payloads in a fourth array, so a push allocates nothing
+   (the old layout boxed every entry in a record inside an option) and a
+   sift step compares immediate ints instead of pattern-matching two
+   [Some] cells. The payload array is created lazily from the first pushed
+   payload so it gets the right runtime representation (e.g. a flat float
+   array when ['a = float]). *)
 
 type tie_break = time:int -> seq:int -> int
 
 type 'a t = {
-  mutable arr : 'a entry option array;
+  mutable times : int array;
+  mutable prios : int array;
+  mutable seqs : int array;
+  (* [Array.length payloads = 0] until the first push; slots at indices
+     >= [size] may retain stale payloads until overwritten (see .mli). *)
+  mutable payloads : 'a array;
   mutable size : int;
   mutable next_seq : int;
   mutable tie_break : tie_break option;
 }
 
 let create ?(initial_capacity = 256) ?tie_break () =
-  { arr = Array.make (Stdlib.max 1 initial_capacity) None;
+  let cap = Stdlib.max 1 initial_capacity in
+  { times = Array.make cap 0;
+    prios = Array.make cap 0;
+    seqs = Array.make cap 0;
+    payloads = [||];
     size = 0;
     next_seq = 0;
     tie_break }
@@ -22,70 +37,113 @@ let length t = t.size
 
 (* Among equal times, [prio] decides; [seq] breaks prio collisions so the
    order is total and deterministic. With no tie_break installed
-   [prio = seq], i.e. FIFO among equals. *)
-let entry_lt a b =
-  a.time < b.time
-  || (a.time = b.time
-      && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
+   [prio = seq], i.e. FIFO among equals. Keys are unique (seq is), so the
+   drain order is independent of the heap's internal shape — the unboxed
+   rewrite pops in exactly the order the boxed implementation did. *)
+let key_lt ~time ~prio ~seq t j =
+  let tj = Array.unsafe_get t.times j in
+  time < tj
+  || (time = tj
+      && (let pj = Array.unsafe_get t.prios j in
+          prio < pj || (prio = pj && seq < Array.unsafe_get t.seqs j)))
 
 let grow t =
-  let arr = Array.make (2 * Array.length t.arr) None in
-  Array.blit t.arr 0 arr 0 t.size;
-  t.arr <- arr
+  let cap = Array.length t.times in
+  let cap' = 2 * cap in
+  let grow_int a =
+    let a' = Array.make cap' 0 in
+    Array.blit a 0 a' 0 t.size;
+    a'
+  in
+  t.times <- grow_int t.times;
+  t.prios <- grow_int t.prios;
+  t.seqs <- grow_int t.seqs;
+  (* grow is only reached with size = cap >= 1, so payloads is non-empty
+     and payloads.(0) is a valid seed element. *)
+  let p' = Array.make cap' t.payloads.(0) in
+  Array.blit t.payloads 0 p' 0 t.size;
+  t.payloads <- p'
 
-let get t i =
-  match t.arr.(i) with
-  | Some e -> e
-  | None -> assert false
+let set_slot t i ~time ~prio ~seq payload =
+  Array.unsafe_set t.times i time;
+  Array.unsafe_set t.prios i prio;
+  Array.unsafe_set t.seqs i seq;
+  Array.unsafe_set t.payloads i payload
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    let ei = get t i and ep = get t parent in
-    if entry_lt ei ep then begin
-      t.arr.(i) <- Some ep;
-      t.arr.(parent) <- Some ei;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && entry_lt (get t l) (get t !smallest) then smallest := l;
-  if r < t.size && entry_lt (get t r) (get t !smallest) then smallest := r;
-  if !smallest <> i then begin
-    let ei = get t i and es = get t !smallest in
-    t.arr.(i) <- Some es;
-    t.arr.(!smallest) <- Some ei;
-    sift_down t !smallest
-  end
+let move_slot t ~src ~dst =
+  Array.unsafe_set t.times dst (Array.unsafe_get t.times src);
+  Array.unsafe_set t.prios dst (Array.unsafe_get t.prios src);
+  Array.unsafe_set t.seqs dst (Array.unsafe_get t.seqs src);
+  Array.unsafe_set t.payloads dst (Array.unsafe_get t.payloads src)
 
 let push t ~time payload =
-  if t.size = Array.length t.arr then grow t;
+  if t.size = Array.length t.times then grow t;
+  if Array.length t.payloads = 0 then
+    t.payloads <- Array.make (Array.length t.times) payload;
   let seq = t.next_seq in
-  let prio =
-    match t.tie_break with None -> seq | Some f -> f ~time ~seq
-  in
-  let e = { time; prio; seq; payload } in
-  t.next_seq <- t.next_seq + 1;
-  t.arr.(t.size) <- Some e;
+  t.next_seq <- seq + 1;
+  let prio = match t.tie_break with None -> seq | Some f -> f ~time ~seq in
+  (* Hole-based sift-up: parents slide down until the new key's slot is
+     found; the new element is written exactly once. *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let stop = ref false in
+  while (not !stop) && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if key_lt ~time ~prio ~seq t parent then begin
+      move_slot t ~src:parent ~dst:!i;
+      i := parent
+    end
+    else stop := true
+  done;
+  set_slot t !i ~time ~prio ~seq payload
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = get t 0 in
-    t.size <- t.size - 1;
-    t.arr.(0) <- t.arr.(t.size);
-    t.arr.(t.size) <- None;
-    if t.size > 0 then sift_down t 0;
-    Some (top.time, top.payload)
+    let time0 = t.times.(0) and payload0 = t.payloads.(0) in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      (* Hole-based sift-down of the displaced last element. *)
+      let time = t.times.(n)
+      and prio = t.prios.(n)
+      and seq = t.seqs.(n) in
+      let payload = t.payloads.(n) in
+      let i = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        let l = (2 * !i) + 1 in
+        if l >= n then stop := true
+        else begin
+          let r = l + 1 in
+          let c =
+            if
+              r < n
+              && key_lt
+                   ~time:(Array.unsafe_get t.times r)
+                   ~prio:(Array.unsafe_get t.prios r)
+                   ~seq:(Array.unsafe_get t.seqs r)
+                   t l
+            then r
+            else l
+          in
+          if key_lt ~time ~prio ~seq t c then stop := true
+          else begin
+            move_slot t ~src:c ~dst:!i;
+            i := c
+          end
+        end
+      done;
+      set_slot t !i ~time ~prio ~seq payload
+    end;
+    Some (time0, payload0)
   end
 
-let peek_time t = if t.size = 0 then None else Some (get t 0).time
+let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
 let clear t =
-  Array.fill t.arr 0 t.size None;
-  t.size <- 0
+  t.size <- 0;
+  (* Drop the payload array so no popped payloads are retained; it is
+     re-created on the next push. *)
+  t.payloads <- [||]

@@ -6,7 +6,18 @@
     {!tie_break} hook replaces that default: the hook maps [(time, seq)] to
     a priority, permuting same-instant order (the schedule fuzzer's seeded
     shuffler) while [seq] still breaks priority collisions, so any hook
-    yields a total, deterministic order. *)
+    yields a total, deterministic order.
+
+    Storage is an unboxed parallel-arrays layout — three int arrays for
+    the [(time, prio, seq)] keys plus one payload array — so {!push}
+    allocates nothing and sift steps compare immediate ints. Because every
+    key is unique ([seq] is), the drain order is a pure function of the
+    pushed keys, independent of the heap's internal shape. One
+    consequence of the layout: payload slots at indices >= [length] may
+    retain a previously pushed payload (keeping it reachable) until the
+    slot is overwritten by a later push; {!clear} drops the whole payload
+    array. Intended payloads are small scheduler closures, for which this
+    retention is negligible. *)
 
 type 'a t
 

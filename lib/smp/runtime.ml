@@ -23,7 +23,9 @@ type system = {
 and thread = {
   id : int;
   sys : system;
-  mutable accum : float;
+  (* One-element floatarray, not a mutable float field: a float field
+     store boxes, and [accum] is written on every memory access. *)
+  accum : floatarray;
   mutable m_compute : int;
   mutable m_sync : int;
 }
@@ -56,16 +58,23 @@ let cond _s = { cwaiters = Queue.create () }
 
 let spawn s body =
   if s.next >= s.total then invalid_arg "Smp.Runtime.spawn: no slots left";
-  let t = { id = s.next; sys = s; accum = 0.; m_compute = 0; m_sync = 0 } in
+  let t =
+    { id = s.next;
+      sys = s;
+      accum = Float.Array.make 1 0.;
+      m_compute = 0;
+      m_sync = 0 }
+  in
   s.next <- s.next + 1;
   s.threads_rev <- t :: s.threads_rev;
   Desim.Engine.spawn s.engine ~name:(Printf.sprintf "pth%d" t.id)
     (fun () ->
        body t;
        (* Flush residual local time into the compute bucket. *)
-       if t.accum > 0. then begin
-         let d = Desim.Time.span_of_float_ns t.accum in
-         t.accum <- 0.;
+       let a = Float.Array.unsafe_get t.accum 0 in
+       if a > 0. then begin
+         let d = Desim.Time.span_of_float_ns a in
+         Float.Array.unsafe_set t.accum 0 0.;
          t.m_compute <- t.m_compute + d;
          Desim.Engine.delay d
        end);
@@ -80,27 +89,29 @@ let thread_id t = t.id
 let now t = Desim.Engine.now t.sys.engine
 
 let sync_clock t =
-  if t.accum > 0. then begin
-    let d = Desim.Time.span_of_float_ns t.accum in
-    t.accum <- 0.;
+  let a = Float.Array.unsafe_get t.accum 0 in
+  if a > 0. then begin
+    let d = Desim.Time.span_of_float_ns a in
+    Float.Array.unsafe_set t.accum 0 0.;
     t.m_compute <- t.m_compute + d;
     Desim.Engine.delay d
   end
 
 let malloc t ~bytes = Machine.alloc t.sys.machine ~bytes ~align:64
 
+let charge t ns =
+  Float.Array.unsafe_set t.accum 0 (Float.Array.unsafe_get t.accum 0 +. ns)
+
 let read_i64 t addr =
-  t.accum <- t.accum +. Machine.read_cost t.sys.machine ~thread:t.id ~addr;
+  charge t (Machine.read_cost t.sys.machine ~thread:t.id ~addr);
   Machine.read_i64 t.sys.machine addr
 
 let write_i64 t addr v =
-  t.accum <- t.accum +. Machine.write_cost t.sys.machine ~thread:t.id ~addr;
+  charge t (Machine.write_cost t.sys.machine ~thread:t.id ~addr);
   Machine.write_i64 t.sys.machine addr v
 
 let read_f64 t addr = Int64.float_of_bits (read_i64 t addr)
 let write_f64 t addr v = write_i64 t addr (Int64.bits_of_float v)
-
-let charge t ns = t.accum <- t.accum +. ns
 let charge_flops t n = charge t (float_of_int n *. t.sys.cfg.Config.t_flop)
 
 let lock t m =
