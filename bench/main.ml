@@ -222,6 +222,58 @@ let run_bechamel () =
   List.rev !out
 
 (* ------------------------------------------------------------------ *)
+(* Replication cost probe                                              *)
+
+(* What does primary-backup fault tolerance cost a real kernel? One
+   quick Jacobi run on a two-server geometry without replication, one
+   with — same seed, same shape — reported as a slowdown ratio plus the
+   mirror/heartbeat counters that explain it. Both runs happen in this
+   process back to back, so the ratio is machine-drift-immune like the
+   speedup ratios above (the wall times here are simulated anyway). *)
+let replication_probe () =
+  let run replication =
+    let config =
+      { Samhita.Config.default with
+        Samhita.Config.memory_servers = 2;
+        replication }
+    in
+    let captured = ref None in
+    let b =
+      Workload.Samhita_backend.make ~config
+        ~on_create:(fun sys -> captured := Some sys)
+        ()
+    in
+    let p = { Workload.Jacobi.default_params with n = 32; iters = 4 } in
+    let r = Workload.Jacobi.run b ~threads:4 p in
+    (r.Workload.Jacobi.wall_ns, !captured)
+  in
+  let base_wall, _ = run 0 in
+  let repl_wall, sys = run 1 in
+  let slowdown = float_of_int repl_wall /. float_of_int base_wall in
+  Printf.printf
+    "== replication cost probe (jacobi n=32 iters=4 P=4, 2 servers) ==\n\
+    \  baseline wall    %d ns\n\
+    \  replicated wall  %d ns\n\
+    \  slowdown         %.3fx\n\n"
+    base_wall repl_wall slowdown;
+  let counters =
+    match sys with
+    | Some s -> Samhita.Metrics.replication_of_system s
+    | None -> None
+  in
+  ( ("jacobi_slowdown", slowdown),
+    match counters with
+    | None -> []
+    | Some r ->
+      [ ("mirrored_writes", r.Samhita.Metrics.mirrored_writes);
+        ("mirror_bytes", r.Samhita.Metrics.mirror_bytes);
+        ("degraded_writes", r.Samhita.Metrics.degraded_writes);
+        ("heartbeats", r.Samhita.Metrics.heartbeats);
+        ("leases_expired", r.Samhita.Metrics.leases_expired);
+        ("promotions", r.Samhita.Metrics.promotions);
+        ("replayed_updates", r.Samhita.Metrics.replayed_updates) ] )
+
+(* ------------------------------------------------------------------ *)
 (* BENCH.json                                                          *)
 
 let json_escape s =
@@ -235,7 +287,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json ~scale ~micro ~figures =
+let write_bench_json ~scale ~micro ~figures ~repl =
   let oc = open_out "BENCH.json" in
   let field_block name entries fmt_v =
     Printf.fprintf oc "  \"%s\": {" name;
@@ -270,6 +322,12 @@ let write_bench_json ~scale ~micro ~figures =
     Printf.fprintf oc ",\n";
     field_block "figures_wall_s" figures (Printf.sprintf "%.3f")
   end;
+  (let (slow_label, slowdown), counters = repl in
+   Printf.fprintf oc ",\n";
+   field_block "replication"
+     ((slow_label, Printf.sprintf "%.3f" slowdown)
+      :: List.map (fun (k, v) -> (k, string_of_int v)) counters)
+     (fun s -> s));
   Printf.fprintf oc "\n}\n";
   close_out oc;
   Printf.printf "wrote BENCH.json\n%!"
@@ -291,7 +349,9 @@ let () =
     (if quick then "quick" else "paper");
   let figures = run_figures ~scale ~ids in
   let micro = if not no_micro then run_bechamel () else [] in
-  if json then
+  if json then begin
+    let repl = replication_probe () in
     write_bench_json
       ~scale:(if quick then "quick" else "paper")
-      ~micro ~figures
+      ~micro ~figures ~repl
+  end

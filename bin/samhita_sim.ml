@@ -119,7 +119,8 @@ let fig_cmd =
   let run id scale csv =
     match Harness.Experiments.by_id id with
     | None ->
-      Printf.eprintf "unknown figure id %S (try `samhita_sim list`)\n" id;
+      Printf.eprintf
+        "samhita_sim fig: unknown figure id %S (try `samhita_sim list`)\n" id;
       exit 2
     | Some f ->
       let fig = f (Harness.Experiments.ctx scale) in
@@ -189,9 +190,12 @@ let micro_cmd =
         Format.printf "%a@." Harness.Report.pp (Harness.Report.of_system sys)
       else if sanitize then print_sanitizer sys
     | None ->
-      if report || sanitize then
-        prerr_endline
-          "--report/--sanitize are only available with --backend smh"
+      if report || sanitize then begin
+        Printf.eprintf
+          "samhita_sim micro: %s requires --backend smh (got --backend pth)\n"
+          (if report then "--report" else "--sanitize");
+        exit 2
+      end
   in
   Cmd.v
     (Cmd.info "micro" ~doc:"Run the paper's Figure-2 micro-benchmark once")
@@ -232,8 +236,12 @@ let jacobi_cmd =
     (match !captured with
      | Some sys -> print_sanitizer sys
      | None ->
-       if sanitize then
-         prerr_endline "--sanitize is only available with --backend smh")
+       if sanitize then begin
+         Printf.eprintf
+           "samhita_sim jacobi: --sanitize requires --backend smh (got \
+            --backend pth)\n";
+         exit 2
+       end)
   in
   Cmd.v
     (Cmd.info "jacobi" ~doc:"Run the Jacobi application kernel once")
@@ -274,8 +282,12 @@ let md_cmd =
     (match !captured with
      | Some sys -> print_sanitizer sys
      | None ->
-       if sanitize then
-         prerr_endline "--sanitize is only available with --backend smh")
+       if sanitize then begin
+         Printf.eprintf
+           "samhita_sim md: --sanitize requires --backend smh (got \
+            --backend pth)\n";
+         exit 2
+       end)
   in
   Cmd.v
     (Cmd.info "md" ~doc:"Run the molecular-dynamics kernel once")
@@ -336,15 +348,35 @@ let torture_cmd =
             "Replay one seed verbosely (violations and oracle trace tail) \
              instead of sweeping; exits 1 if it has violations.")
   in
-  let run seeds base_seed level kernel replay =
+  let crash_t =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Crash mode: each seed additionally derives a replicated \
+             geometry (primary-backup memory servers, short leases) and a \
+             fail-stop crash of one seed-chosen memory server at a \
+             seed-chosen instant; the oracle also checks post-recovery \
+             invariants (no stale promotion, no lost acked write).")
+  in
+  let run seeds base_seed level kernel replay crash =
     match replay with
     | Some seed ->
-      let o = Torture.Runner.run_one ~kernel ~level ~seed in
+      let o = Torture.Runner.run_one ~crash ~kernel ~level ~seed () in
       Format.printf "%a@." Torture.Runner.pp_outcome o;
-      if o.Torture.Runner.o_violations <> [] then exit 1
+      if o.Torture.Runner.o_violations <> [] then begin
+        Printf.eprintf
+          "samhita_sim torture: replay of --kernel %s --faults %s%s --replay \
+           %d found violations\n"
+          (Torture.Runner.kernel_name kernel)
+          (Fabric.Faults.level_name level)
+          (if crash then " --crash" else "")
+          seed;
+        exit 1
+      end
     | None ->
       let s =
-        Torture.Runner.run ~kernel ~level ~seeds ~base_seed ()
+        Torture.Runner.run ~crash ~kernel ~level ~seeds ~base_seed ()
       in
       Format.printf "%a@." Torture.Runner.pp_summary s;
       if s.Torture.Runner.s_failures <> [] then begin
@@ -353,9 +385,18 @@ let torture_cmd =
           s.Torture.Runner.s_failures;
         Format.printf
           "reproduce any failing seed with: samhita_sim torture --kernel \
-           %s --faults %s --replay <seed>@."
+           %s --faults %s%s --replay <seed>@."
           (Torture.Runner.kernel_name kernel)
-          (Fabric.Faults.level_name level);
+          (Fabric.Faults.level_name level)
+          (if crash then " --crash" else "");
+        Printf.eprintf
+          "samhita_sim torture: --kernel %s --faults %s%s: %d of %d seed(s) \
+           failed\n"
+          (Torture.Runner.kernel_name kernel)
+          (Fabric.Faults.level_name level)
+          (if crash then " --crash" else "")
+          (List.length s.Torture.Runner.s_failures)
+          seeds;
         exit 1
       end
   in
@@ -368,7 +409,9 @@ let torture_cmd =
           linearizable-memory oracle, checks the result against the \
           sequential reference, and replays the seed to prove \
           bit-for-bit determinism")
-    Term.(const run $ seeds_t $ base_seed_t $ faults_t $ kernel_t $ replay_t)
+    Term.(
+      const run $ seeds_t $ base_seed_t $ faults_t $ kernel_t $ replay_t
+      $ crash_t)
 
 (* ---------------- race ---------------- *)
 

@@ -303,6 +303,13 @@ let pending_wait t line =
   | None -> None
   | Some p -> Some (fun wake -> p.waiters <- wake :: p.waiters)
 
+let pending_abort t line =
+  match Hashtbl.find_opt t.pending line with
+  | None -> ()
+  | Some p ->
+    Hashtbl.remove t.pending line;
+    List.iter (fun wake -> wake None) (List.rev p.waiters)
+
 let pending_complete t line ~data ~version =
   match Hashtbl.find_opt t.pending line with
   | None -> ()

@@ -114,6 +114,11 @@ val pending_wait : t -> int -> ((arrival -> unit) -> unit) option
 (** If the line is in flight, returns a registrar the caller can hand its
     wake to ([Thread_ctx] suspends on it). *)
 
+val pending_abort : t -> int -> unit
+(** The in-flight prefetch will never deliver (its home crashed): drop the
+    slot and wake any waiters with [None] so they demand-fetch. No-op when
+    nothing is pending. *)
+
 val pending_complete : t -> int -> data:bytes -> version:int -> unit
 (** Prefetch delivery: wakes waiters (with [None] if stale) and, when there
     are no waiters and the line is fresh, installs via {!try_install}. *)

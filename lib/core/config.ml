@@ -26,6 +26,9 @@ type t = {
   sanitize : bool;
   fault_level : Fabric.Faults.level;
   shuffle : bool;
+  replication : int;
+  crash_server : (int * int) option;
+  lease_interval : Desim.Time.span;
 }
 
 (* Sharer and writer sets are thread-id bitmasks in a 63-bit int; one bit
@@ -57,7 +60,10 @@ let default =
     seed = 42;
     sanitize = false;
     fault_level = Fabric.Faults.Off;
-    shuffle = false }
+    shuffle = false;
+    replication = 0;
+    crash_server = None;
+    lease_interval = Desim.Time.ns 100_000 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -104,7 +110,34 @@ let validate t =
       (t.t_mem >= 0. && t.t_flop >= 0. && t.diff_apply_ns_per_byte >= 0.)
       "cost-model rates must be non-negative"
   in
-  Ok ()
+  let* () =
+    check (t.replication = 0 || t.replication = 1)
+      "replication must be 0 or 1 (primary-backup)"
+  in
+  let* () =
+    check
+      (t.replication = 0 || t.memory_servers >= 2)
+      "replication requires memory_servers >= 2 (a backup must live on \
+       another node)"
+  in
+  let* () =
+    check (t.replication = 0 || t.model = Regc)
+      "replication is only modeled for the regc engine"
+  in
+  let* () =
+    match t.crash_server with
+    | None -> Ok ()
+    | Some (srv, at) ->
+      let* () =
+        check
+          (srv >= 0 && srv < t.memory_servers)
+          "crash_server index out of range"
+      in
+      let* () = check (at >= 0) "crash_server instant must be >= 0" in
+      check (t.model = Regc)
+        "crash_server is only modeled for the regc engine"
+  in
+  check (t.lease_interval >= 1) "lease_interval must be >= 1ns"
 
 let model_name = function Regc -> "regc" | Sc_invalidate -> "sc-invalidate"
 
@@ -115,7 +148,8 @@ let pp ppf t =
      alloc: small<=%d large>%d arena=%d stripe=%d@ \
      regc: history=%d bypass=%b coalesce=%b@ \
      cost: mem=%.2fns flop=%.2fns server=%a manager=%a diff=%.3fns/B@ \
-     layout: %d server(s), %d threads/node, %s@]"
+     layout: %d server(s), %d threads/node, %s@ \
+     ft: replication=%d crash=%s lease=%a@]"
     (model_name t.model)
     t.page_bytes t.pages_per_line t.cache_lines t.prefetch
     t.evict_dirty_first t.sanitize
@@ -126,3 +160,8 @@ let pp ppf t =
     t.t_mem t.t_flop Desim.Time.pp_span t.server_service Desim.Time.pp_span
     t.manager_service t.diff_apply_ns_per_byte t.memory_servers
     t.threads_per_node t.fabric.Fabric.Profile.name
+    t.replication
+    (match t.crash_server with
+     | None -> "none"
+     | Some (srv, at) -> Printf.sprintf "server%d@%dns" srv at)
+    Desim.Time.pp_span t.lease_interval

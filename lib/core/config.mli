@@ -79,6 +79,24 @@ type t = {
           order in the engine with a tie-break seeded from [seed], instead
           of the default FIFO. One [(seed, shuffle)] pair is one fully
           deterministic, replayable schedule. *)
+  (* Crash fault tolerance *)
+  replication : int;
+      (** Replication factor for memory-server state: 0 (off, default) or
+          1 (primary-backup — every [apply_diff]/[apply_update] is
+          synchronously mirrored to the next server, charging fabric and
+          service time). Requires [memory_servers >= 2] and the [Regc]
+          model. *)
+  crash_server : (int * int) option;
+      (** Fail-stop crash injection: [(server, instant_ns)] kills memory
+          server [server] (its fabric node) from that simulated instant
+          on. Survivable only with [replication = 1]; [Regc] model only.
+          [None] (default) leaves the fabric byte-exact with the seed
+          build when [fault_level] is also [Off]. *)
+  lease_interval : Desim.Time.span;
+      (** Heartbeat period of the manager's lease-based failure detector
+          (only active when [replication >= 1]). A server that fails to
+          answer a heartbeat within {!Fabric.Scl.dead_retry_budget}
+          retransmissions has its lease expired and recovery begins. *)
 }
 
 val default : t

@@ -1,0 +1,64 @@
+(* Logical-to-physical stripe map. Healthy systems have the identity map
+   and pay nothing; after a crash the manager's recovery protocol repoints
+   the dead logical server at its promoted backup. Threads that hit a dead
+   physical node park here until recovery wakes them. *)
+
+type t = {
+  memory_servers : int;
+  (* physical.(logical) = index of the Memory_server currently serving
+     that logical stripe slot. Identity until a promotion. *)
+  physical : int array;
+  (* The physical server declared fail-stop dead, once detected. A thread
+     can observe deadness (Scl.Node_dead) before the manager's lease
+     expires; [failed] distinguishes "recovery already ran" from "wait for
+     it". *)
+  mutable dead : int option;
+  mutable waiters : (unit -> unit) list;
+  mutable promotions : int;
+}
+
+let create (cfg : Config.t) =
+  { memory_servers = cfg.Config.memory_servers;
+    physical = Array.init cfg.Config.memory_servers Fun.id;
+    dead = None;
+    waiters = [];
+    promotions = 0 }
+
+let physical_of_logical t logical =
+  if logical < 0 || logical >= t.memory_servers then
+    invalid_arg "Directory.physical_of_logical: bad logical server";
+  t.physical.(logical)
+
+let server_of_line t cfg ~line =
+  t.physical.(Home.server_of_line cfg ~line)
+
+(* Primary-backup placement: the backup of server [i] is its ring
+   successor. With replication on, [memory_servers >= 2] guarantees the
+   backup is a different node. *)
+let backup_of t i = (i + 1) mod t.memory_servers
+
+let failed t phys = t.dead = Some phys
+
+let promote t ~dead =
+  if t.dead <> None then
+    invalid_arg "Directory.promote: a server already failed (single-failure \
+                 model)";
+  let promoted = backup_of t dead in
+  (* Every logical slot mapped at the dead physical server (the identity
+     slot, pre-promotion) repoints to the promoted backup. *)
+  Array.iteri
+    (fun logical phys ->
+       if phys = dead then t.physical.(logical) <- promoted)
+    t.physical;
+  t.dead <- Some dead;
+  t.promotions <- t.promotions + 1;
+  promoted
+
+let await_recovery t ~wake = t.waiters <- wake :: t.waiters
+
+let take_waiters t =
+  let ws = List.rev t.waiters in
+  t.waiters <- [];
+  ws
+
+let promotions t = t.promotions

@@ -1,0 +1,42 @@
+(** Logical-to-physical stripe map for crash fault tolerance.
+
+    {!Home.server_of_line} computes the {e logical} home of a line; this
+    module maps logical servers to the physical {!Memory_server} currently
+    serving them. Healthy systems carry the identity map (one array read
+    on the fetch path); after a fail-stop crash the manager's recovery
+    protocol {!promote}s the dead server's backup and repoints the map, so
+    every subsequent fetch/flush lands on the promoted replica without the
+    threads knowing the topology changed. *)
+
+type t
+
+val create : Config.t -> t
+
+val physical_of_logical : t -> int -> int
+(** Physical server index currently serving a logical stripe slot. *)
+
+val server_of_line : t -> Config.t -> line:int -> int
+(** [physical_of_logical] composed with {!Home.server_of_line}. *)
+
+val backup_of : t -> int -> int
+(** Primary-backup placement: the backup of server [i] is [(i + 1) mod
+    memory_servers]. *)
+
+val failed : t -> int -> bool
+(** Whether this physical server has been declared dead {e and} recovery
+    has already repointed the map (threads observing [Scl.Node_dead]
+    before that must park via {!await_recovery}). *)
+
+val promote : t -> dead:int -> int
+(** Declare physical server [dead] failed and repoint every logical slot
+    it served at its backup; returns the promoted physical index. Raises
+    [Invalid_argument] on a second failure (single-failure model). *)
+
+val await_recovery : t -> wake:(unit -> unit) -> unit
+(** Park a blocked thread's wake callback until recovery completes. *)
+
+val take_waiters : t -> (unit -> unit) list
+(** Drain the parked wake callbacks (called by the recovery protocol),
+    oldest first. *)
+
+val promotions : t -> int

@@ -65,6 +65,10 @@ type t = {
   barriers : (barrier_id, barrier_state) Hashtbl.t;
   conds : (cond_id, cond_state) Hashtbl.t;
   mutable next_id : int;
+  (* Lease-based failure detection / recovery bookkeeping. *)
+  mutable heartbeats : int;
+  mutable leases_expired : int;
+  mutable replayed : int;
 }
 
 let acquire_request_wire = 48
@@ -87,7 +91,10 @@ let create cfg layout ~engine ~endpoint =
     locks = Hashtbl.create 64;
     barriers = Hashtbl.create 16;
     conds = Hashtbl.create 16;
-    next_id = 1 }
+    next_id = 1;
+    heartbeats = 0;
+    leases_expired = 0;
+    replayed = 0 }
 
 let endpoint t = t.endpoint
 let service t = t.service
@@ -321,3 +328,67 @@ let cond_broadcast t ~now ~cond =
   Queue.iter (fun w -> wake_one t ~now w) st.cwaiters;
   Queue.clear st.cwaiters;
   n
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+
+let heartbeat_wire = 24
+
+let note_heartbeat t = t.heartbeats <- t.heartbeats + 1
+
+(* Recovery after the lease monitor declares physical server [dead]
+   fail-stop: promote its backup in the directory, then replay surviving
+   update logs. The manager's retained lock histories record, per
+   release, the update log and the home versions it produced — any line
+   homed on the dead server whose promoted replica is behind (a diff
+   acked by the primary whose mirror never happened, e.g. a degraded
+   write or an unreplicated run) is patched forward from the log, oldest
+   release first. With synchronous mirroring the replica is normally
+   already current and replay is a no-op safety net. Finally parked
+   threads are rescheduled. *)
+let recover t ~dir ~servers ~dead ~probe ~now =
+  let promoted = Directory.promote dir ~dead in
+  t.leases_expired <- t.leases_expired + 1;
+  let psrv = servers.(promoted) in
+  let replayed_here = ref 0 in
+  let locks =
+    Hashtbl.fold (fun id st acc -> (id, st) :: acc) t.locks []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (_, st) ->
+       List.iter
+         (fun h ->
+            List.iter
+              (fun (line, v) ->
+                 if Home.server_of_line t.cfg ~line = dead
+                    && Memory_server.version psrv line < v
+                 then begin
+                   List.iter
+                     (fun u ->
+                        if List.mem line (Update.lines_touched t.layout u)
+                        then
+                          Update.apply_to_line t.layout u ~line
+                            (Memory_server.line psrv line))
+                     h.h_log;
+                   Memory_server.force_version psrv line v;
+                   incr replayed_here;
+                   match probe with
+                   | Some p ->
+                     p.Probe.on_publish ~thread:(-1) ~time:now
+                       ~server:promoted ~line ~version:v
+                       ~data:(Memory_server.line psrv line)
+                   | None -> ()
+                 end)
+              h.h_line_versions)
+         (List.rev st.history))
+    locks;
+  t.replayed <- t.replayed + !replayed_here;
+  List.iter
+    (fun wake -> Desim.Engine.schedule_at t.engine now wake)
+    (Directory.take_waiters dir);
+  (promoted, !replayed_here)
+
+let heartbeats t = t.heartbeats
+let leases_expired t = t.leases_expired
+let replayed_updates t = t.replayed

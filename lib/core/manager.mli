@@ -111,9 +111,33 @@ val cond_signal : t -> now:Desim.Time.t -> cond:cond_id -> int
 
 val cond_broadcast : t -> now:Desim.Time.t -> cond:cond_id -> int
 
+(** {2 Crash recovery}
+
+    The manager owns the lease-based failure detector (the monitor
+    process lives in {!System}; it calls these). *)
+
+val note_heartbeat : t -> unit
+(** One lease-renewal round trip to a memory server completed. *)
+
+val recover :
+  t -> dir:Directory.t -> servers:Memory_server.t array -> dead:int ->
+  probe:Probe.t option -> now:Desim.Time.t -> int * int
+(** Run the recovery protocol for failed physical server [dead]: expire
+    its lease, {!Directory.promote} its backup, replay surviving
+    update-log entries from the retained lock histories onto any promoted
+    line that is behind its published version (publishing each replayed
+    line through [probe] with thread [-1]), and reschedule threads parked
+    in {!Directory.await_recovery}. Returns
+    [(promoted, replayed_entries)]. *)
+
+val heartbeats : t -> int
+val leases_expired : t -> int
+val replayed_updates : t -> int
+
 (** {2 Wire-size helpers} *)
 
 val acquire_request_wire : int
 val release_wire : log:Update.t list -> line_versions:(int * int) list -> int
 val notice_wire : (int * int) list -> int
 val ack_wire : int
+val heartbeat_wire : int

@@ -9,6 +9,13 @@ type t = {
   fetches : Desim.Stats.Counter.t;
   diffs : Desim.Stats.Counter.t;
   updates : Desim.Stats.Counter.t;
+  (* Primary-backup replication (Config.replication = 1): writes applied
+     here are synchronously mirrored into [backup]'s store by the
+     requesting thread, after the mirror round trip's time is charged. *)
+  mutable backup : t option;
+  mutable mirrors : int;
+  mutable mirror_bytes : int;
+  mutable degraded : int;
 }
 
 let create cfg layout ~id ~endpoint =
@@ -21,11 +28,18 @@ let create cfg layout ~id ~endpoint =
     service = Desim.Resource.create ~name:(Printf.sprintf "memsrv%d" id) ();
     fetches = Desim.Stats.Counter.create ();
     diffs = Desim.Stats.Counter.create ();
-    updates = Desim.Stats.Counter.create () }
+    updates = Desim.Stats.Counter.create ();
+    backup = None;
+    mirrors = 0;
+    mirror_bytes = 0;
+    degraded = 0 }
 
 let id t = t.id
 let endpoint t = t.endpoint
 let service t = t.service
+
+let set_backup t b = t.backup <- Some b
+let backup t = t.backup
 
 let line t line_id =
   match Hashtbl.find_opt t.store line_id with
@@ -61,6 +75,18 @@ let apply_update t (u : Update.t) =
        (l, bump_version t l))
     touched
 
+let note_mirror t ~bytes =
+  t.mirrors <- t.mirrors + 1;
+  t.mirror_bytes <- t.mirror_bytes + bytes
+
+let note_degraded t = t.degraded <- t.degraded + 1
+
+(* Recovery replay: raise a line's version to at least [v] (idempotent —
+   the synchronous mirror usually has the promoted replica there
+   already). *)
+let force_version t line_id v =
+  if v > version t line_id then Hashtbl.replace t.versions line_id v
+
 let service_time_for_bytes t bytes =
   t.cfg.Config.server_service
   + Desim.Time.span_of_float_ns
@@ -70,3 +96,6 @@ let lines_resident t = Hashtbl.length t.store
 let fetches t = Desim.Stats.Counter.value t.fetches
 let diffs_applied t = Desim.Stats.Counter.value t.diffs
 let updates_applied t = Desim.Stats.Counter.value t.updates
+let mirrors t = t.mirrors
+let mirror_bytes t = t.mirror_bytes
+let degraded_writes t = t.degraded

@@ -16,6 +16,13 @@ val id : t -> int
 val endpoint : t -> Fabric.Scl.endpoint
 val service : t -> Desim.Resource.t
 
+val set_backup : t -> t -> unit
+(** Wire this server's primary-backup replica ([Config.replication = 1];
+    {!System.create} picks the ring successor via
+    {!Directory.backup_of}). *)
+
+val backup : t -> t option
+
 val line : t -> int -> bytes
 (** The live backing buffer for a line (zero-filled on first touch). The
     returned buffer is the store's own: callers must not alias it into a
@@ -34,6 +41,18 @@ val apply_update : t -> Update.t -> (int * int) list
 (** Apply a fine-grained update; returns [(line, new_version)] for every
     line it touched. *)
 
+val note_mirror : t -> bytes:int -> unit
+(** A write to this primary was successfully mirrored to its backup,
+    carrying this many payload bytes. *)
+
+val note_degraded : t -> unit
+(** A write to this primary could not be mirrored (its backup is dead):
+    the write was acknowledged unreplicated. *)
+
+val force_version : t -> int -> int -> unit
+(** [force_version t line v] raises [line]'s version to at least [v]
+    (recovery replay; no-op when already there). *)
+
 val service_time_for_bytes : t -> int -> Desim.Time.span
 (** Service-loop occupancy for handling a request carrying this many
     payload bytes (fixed handling cost + per-byte apply cost). *)
@@ -42,3 +61,6 @@ val lines_resident : t -> int
 val fetches : t -> int
 val diffs_applied : t -> int
 val updates_applied : t -> int
+val mirrors : t -> int
+val mirror_bytes : t -> int
+val degraded_writes : t -> int

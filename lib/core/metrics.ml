@@ -75,6 +75,50 @@ let faults_of_system sys =
         dropped = Fabric.Faults.messages_dropped f;
         retried = Fabric.Faults.messages_retried f }
 
+type replication = {
+  mirrored_writes : int;
+  mirror_bytes : int;
+  degraded_writes : int;
+  dead_sends : int;
+  heartbeats : int;
+  leases_expired : int;
+  promotions : int;
+  replayed_updates : int;
+  failover_waits : int;
+}
+
+let replication_of_system sys =
+  let cfg = System.config sys in
+  if cfg.Config.replication = 0 && cfg.Config.crash_server = None then None
+  else
+    let servers = System.servers sys in
+    let mgr = System.manager sys in
+    let sum f = Array.fold_left (fun a s -> a + f s) 0 servers in
+    Some
+      { mirrored_writes = sum Memory_server.mirrors;
+        mirror_bytes = sum Memory_server.mirror_bytes;
+        degraded_writes = sum Memory_server.degraded_writes;
+        dead_sends =
+          (match Fabric.Network.faults (System.network sys) with
+           | None -> 0
+           | Some f -> Fabric.Faults.messages_dead f);
+        heartbeats = Manager.heartbeats mgr;
+        leases_expired = Manager.leases_expired mgr;
+        promotions = Directory.promotions (System.directory sys);
+        replayed_updates = Manager.replayed_updates mgr;
+        failover_waits =
+          List.fold_left
+            (fun a t -> a + Thread_ctx.failover_waits t)
+            0 (System.threads sys) }
+
+let pp_replication ppf r =
+  Format.fprintf ppf
+    "replication: mirrors=%d (%d B) degraded=%d dead-sends=%d heartbeats=%d \
+     leases-expired=%d promotions=%d replayed=%d failover-waits=%d"
+    r.mirrored_writes r.mirror_bytes r.degraded_writes r.dead_sends
+    r.heartbeats r.leases_expired r.promotions r.replayed_updates
+    r.failover_waits
+
 let pp_faults ppf f =
   Format.fprintf ppf "faults: delayed=%d reordered=%d dropped=%d retried=%d"
     f.delayed f.reordered f.dropped f.retried

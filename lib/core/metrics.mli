@@ -46,6 +46,29 @@ val faults_of_system : System.t -> faults option
 (** [None] when the run had no fault policy attached
     ([Config.fault_level = Off]). *)
 
+(** Crash-fault-tolerance counters: primary-backup mirroring, the lease
+    monitor's failure detection, and the recovery protocol's work. *)
+type replication = {
+  mirrored_writes : int;  (** Writes synchronously mirrored to a backup. *)
+  mirror_bytes : int;  (** Payload bytes shipped primary-to-backup. *)
+  degraded_writes : int;
+      (** Writes acked unreplicated because the backup was dead. *)
+  dead_sends : int;  (** Messages swallowed by a crashed destination. *)
+  heartbeats : int;  (** Lease renewals the monitor completed. *)
+  leases_expired : int;  (** Failure detections (at most 1 per run). *)
+  promotions : int;  (** Backup promotions performed by recovery. *)
+  replayed_updates : int;
+      (** Logged updates re-applied to the promoted replica. *)
+  failover_waits : int;
+      (** Thread interactions that hit a dead server and re-ran. *)
+}
+
+val replication_of_system : System.t -> replication option
+(** [None] when the run had neither replication nor an injected crash
+    ([Config.replication = 0] and [Config.crash_server = None]). *)
+
+val pp_replication : Format.formatter -> replication -> unit
+
 val pp_thread : Format.formatter -> thread -> unit
 val pp_aggregate : Format.formatter -> aggregate -> unit
 val pp_faults : Format.formatter -> faults -> unit

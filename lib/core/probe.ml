@@ -20,6 +20,9 @@ type t = {
     thread:int -> time:Desim.Time.t -> barrier:int -> epoch:int ->
     phase:[ `Arrive | `Depart ] -> unit;
   on_sync : thread:int -> time:Desim.Time.t -> op:sync_op -> unit;
+  on_crash : time:Desim.Time.t -> node:int -> server:int -> unit;
+  on_recovery :
+    time:Desim.Time.t -> failed:int -> promoted:int -> replayed:int -> unit;
 }
 
 let nothing =
@@ -30,4 +33,6 @@ let nothing =
     on_malloc = (fun ~thread:_ ~time:_ ~addr:_ ~bytes:_ -> ());
     on_free = (fun ~thread:_ ~time:_ ~addr:_ ~bytes:_ -> ());
     on_barrier = (fun ~thread:_ ~time:_ ~barrier:_ ~epoch:_ ~phase:_ -> ());
-    on_sync = (fun ~thread:_ ~time:_ ~op:_ -> ()) }
+    on_sync = (fun ~thread:_ ~time:_ ~op:_ -> ());
+    on_crash = (fun ~time:_ ~node:_ ~server:_ -> ());
+    on_recovery = (fun ~time:_ ~failed:_ ~promoted:_ ~replayed:_ -> ()) }

@@ -41,6 +41,16 @@ type t = {
     thread:int -> time:Desim.Time.t -> barrier:int -> epoch:int ->
     phase:[ `Arrive | `Depart ] -> unit;
   on_sync : thread:int -> time:Desim.Time.t -> op:sync_op -> unit;
+  on_crash : time:Desim.Time.t -> node:int -> server:int -> unit;
+      (** The lease monitor detected that fabric node [node] (hosting
+          memory server [server]) is fail-stop dead. [time] is the
+          detection instant — after the crash instant by at least one
+          missed heartbeat. *)
+  on_recovery :
+    time:Desim.Time.t -> failed:int -> promoted:int -> replayed:int -> unit;
+      (** Recovery finished: physical server [failed]'s stripes now live
+          on [promoted], after replaying [replayed] surviving update-log
+          entries; parked threads resume from [time]. *)
 }
 
 val nothing : t

@@ -4,6 +4,7 @@ type t = {
   engine : Desim.Engine.t;
   network : Fabric.Network.t;
   servers : Memory_server.t array;
+  dir : Directory.t;
   manager : Manager.t;
   sc : Coherence_sc.t;
   san : Analysis.Regcsan.t option;
@@ -11,8 +12,77 @@ type t = {
   first_compute_node : int;
   mutable threads_rev : Thread_ctx.t list;
   mutable next_thread : int;
+  mutable finished : int;
   mutable probe : Probe.t option;
 }
+
+(* The lease-based failure detector (active when replication is on): a
+   manager-owned process that, every [lease_interval], runs a heartbeat
+   round trip to each live memory server. The round trips ride the
+   retrying primitive, so a transient drop only delays renewal; a
+   fail-stop crash exhausts the retry budget and escalates to [Node_dead]
+   — the lease is expired and {!Manager.recover} promotes the backup,
+   replays surviving update logs and wakes parked threads. The monitor
+   exits once every spawned thread has finished (it must: a sleeping
+   process keeps the engine's queue non-empty forever). *)
+let spawn_lease_monitor t =
+  Desim.Engine.spawn t.engine ~name:"lease-monitor" (fun () ->
+      let net = t.network in
+      let mgr_node = Fabric.Scl.node (Manager.endpoint t.manager) in
+      let rec loop () =
+        Desim.Engine.delay t.cfg.Config.lease_interval;
+        if t.finished < t.next_thread then begin
+          let expired = ref None in
+          Array.iteri
+            (fun i srv ->
+               if !expired = None && not (Directory.failed t.dir i) then begin
+                 let snode =
+                   Fabric.Scl.node (Memory_server.endpoint srv)
+                 in
+                 try
+                   let arrival =
+                     Fabric.Scl.reliable_transfer net
+                       ~now:(Desim.Engine.now t.engine)
+                       ~src:mgr_node ~dst:snode
+                       ~bytes:Manager.heartbeat_wire
+                   in
+                   ignore
+                     (Fabric.Scl.reliable_transfer net ~now:arrival
+                        ~src:snode ~dst:mgr_node ~bytes:Manager.ack_wire
+                      : Desim.Time.t);
+                   Manager.note_heartbeat t.manager
+                 with Fabric.Scl.Node_dead (_, give_up) ->
+                   expired := Some (i, give_up)
+               end)
+            t.servers;
+          (match !expired with
+           | None -> ()
+           | Some (i, give_up) ->
+             (* The manager knows at the give-up instant of its last
+                retransmission; detection, promotion, replay and wakeups
+                all land there (replay cost is charged to the manager's
+                service loop implicitly via the blocked threads' own
+                re-issued round trips). *)
+             if Desim.Time.( < ) (Desim.Engine.now t.engine) give_up then
+               Desim.Engine.delay
+                 (Desim.Time.diff give_up (Desim.Engine.now t.engine));
+             let now = Desim.Engine.now t.engine in
+             (match t.probe with
+              | Some p ->
+                p.Probe.on_crash ~time:now ~node:(1 + i) ~server:i
+              | None -> ());
+             let promoted, replayed =
+               Manager.recover t.manager ~dir:t.dir ~servers:t.servers
+                 ~dead:i ~probe:t.probe ~now
+             in
+             (match t.probe with
+              | Some p ->
+                p.Probe.on_recovery ~time:now ~failed:i ~promoted ~replayed
+              | None -> ()));
+          loop ()
+        end
+      in
+      loop ())
 
 let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
   (match Config.validate config with
@@ -35,11 +105,20 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
   let tpn = config.Config.threads_per_node in
   let compute_nodes = (threads + tpn - 1) / tpn in
   let node_count = 1 + ms + compute_nodes in
+  (* Crash spec: memory server [srv] lives on fabric node [1 + srv]. A
+     fault policy is attached exactly when the level is on or a crash is
+     injected, so the default configuration's fabric stays byte-exact with
+     the seed build. *)
+  let crash =
+    match config.Config.crash_server with
+    | Some (srv, at) -> Some (1 + srv, Desim.Time.of_ns at)
+    | None -> None
+  in
   let faults =
-    match config.Config.fault_level with
-    | Fabric.Faults.Off -> None
-    | level ->
-      Some (Fabric.Faults.create ~seed:config.Config.seed ~level)
+    match (config.Config.fault_level, crash) with
+    | Fabric.Faults.Off, None -> None
+    | level, _ ->
+      Some (Fabric.Faults.create ?crash ~seed:config.Config.seed ~level ())
   in
   let network =
     Fabric.Network.create ?faults engine ~profile:config.Config.fabric
@@ -60,24 +139,36 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
         Memory_server.create config layout ~id:i
           ~endpoint:(Fabric.Scl.endpoint network (1 + i)))
   in
-  { cfg = config;
-    layout;
-    engine;
-    network;
-    servers;
-    manager;
-    sc = Coherence_sc.create ();
-    san =
-      (if config.Config.sanitize then
-         Some
-           (Analysis.Regcsan.create ~threads
-              ~page_bytes:config.Config.page_bytes)
-       else None);
-    total_threads = threads;
-    first_compute_node;
-    threads_rev = [];
-    next_thread = 0;
-    probe = None }
+  let dir = Directory.create config in
+  if config.Config.replication >= 1 then
+    Array.iteri
+      (fun i srv ->
+         Memory_server.set_backup srv servers.(Directory.backup_of dir i))
+      servers;
+  let t =
+    { cfg = config;
+      layout;
+      engine;
+      network;
+      servers;
+      dir;
+      manager;
+      sc = Coherence_sc.create ();
+      san =
+        (if config.Config.sanitize then
+           Some
+             (Analysis.Regcsan.create ~threads
+                ~page_bytes:config.Config.page_bytes)
+         else None);
+      total_threads = threads;
+      first_compute_node;
+      threads_rev = [];
+      next_thread = 0;
+      finished = 0;
+      probe = None }
+  in
+  if config.Config.replication >= 1 then spawn_lease_monitor t;
+  t
 
 let config t = t.cfg
 let layout t = t.layout
@@ -85,6 +176,7 @@ let engine t = t.engine
 let network t = t.network
 let manager t = t.manager
 let servers t = t.servers
+let directory t = t.dir
 let total_threads t = t.total_threads
 let sanitizer t = t.san
 
@@ -105,6 +197,7 @@ let env t : Thread_ctx.env =
     engine = t.engine;
     network = t.network;
     servers = t.servers;
+    dir = t.dir;
     manager = t.manager;
     sc = t.sc;
     san = t.san;
@@ -121,7 +214,8 @@ let spawn t body =
   Desim.Engine.spawn t.engine ~name:(Printf.sprintf "thread%d" id)
     (fun () ->
        body ctx;
-       Thread_ctx.finish ctx);
+       Thread_ctx.finish ctx;
+       t.finished <- t.finished + 1);
   ctx
 
 let threads t = List.rev t.threads_rev

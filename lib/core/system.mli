@@ -23,6 +23,11 @@ val engine : t -> Desim.Engine.t
 val network : t -> Fabric.Network.t
 val manager : t -> Manager.t
 val servers : t -> Memory_server.t array
+
+val directory : t -> Directory.t
+(** The logical-to-physical stripe map (identity until a crash recovery
+    promotes a backup). *)
+
 val total_threads : t -> int
 
 val sanitizer : t -> Analysis.Regcsan.t option

@@ -4,6 +4,9 @@ type env = {
   engine : Desim.Engine.t;
   network : Fabric.Network.t;
   servers : Memory_server.t array;
+  dir : Directory.t;
+      (** Logical-to-physical stripe map (identity until a recovery
+          promotes a backup). *)
   manager : Manager.t;
   sc : Coherence_sc.t;  (** Directory for the Sc_invalidate model. *)
   san : Analysis.Regcsan.t option;
@@ -40,6 +43,7 @@ type t = {
   mutable m_alloc : int;
   mutable m_locks : int;
   mutable m_barriers : int;
+  mutable m_failovers : int;
 }
 
 (* Wire sizes of the fixed protocol messages. *)
@@ -67,7 +71,8 @@ let create e ~id ~node =
       m_sync = 0;
       m_alloc = 0;
       m_locks = 0;
-      m_barriers = 0 }
+      m_barriers = 0;
+      m_failovers = 0 }
   in
   (* Register this thread's cache with the SC directory so remote writers
      can invalidate/recall its copies (no-ops under RegC). *)
@@ -115,7 +120,7 @@ let charge t ns =
 let charge_flops t n = charge t (float_of_int n *. t.e.cfg.Config.t_flop)
 
 let server_of t line =
-  t.e.servers.(Home.server_of_line t.e.cfg ~line)
+  t.e.servers.(Directory.server_of_line t.e.dir t.e.cfg ~line)
 
 (* Request/reply legs ride the retrying primitive: under fault injection a
    dropped message costs a timeout + backoff and is resent, so every RPC
@@ -131,6 +136,89 @@ let transfer_from t ~src ~at ~bytes =
 
 let delay_until t instant =
   Desim.Engine.delay (Desim.Time.diff instant (now t))
+
+(* ------------------------------------------------------------------ *)
+(* Crash fault tolerance: failover and primary-backup mirroring        *)
+
+(* Run a memory-server interaction, absorbing a fail-stop crash of the
+   target: wait out the paid retransmission timeouts, park until the
+   manager's recovery protocol repoints the directory (unless it already
+   has), then re-run [f] — which re-resolves its physical server through
+   the directory and lands on the promoted replica. [f] must mutate state
+   only after its full round trip lands (the simulation-wide idiom), so a
+   retry never double-applies. Escalations from non-server nodes (the
+   manager never crashes in this model) propagate. *)
+let rec with_failover t f =
+  try f () with
+  | Fabric.Scl.Node_dead (node, at)
+    when node >= 1 && node <= t.e.cfg.Config.memory_servers ->
+    t.m_failovers <- t.m_failovers + 1;
+    if Desim.Time.( < ) (now t) at then delay_until t at;
+    let phys = node - 1 in
+    if not (Directory.failed t.e.dir phys) then
+      Desim.Engine.suspend ~register:(fun ~wake ->
+          Directory.await_recovery t.e.dir ~wake);
+    with_failover t f
+
+(* Framing of a primary-to-backup mirror message beyond its payload. *)
+let mirror_overhead_wire = 32
+
+(* Synchronous primary-backup mirroring, timing side: between the primary
+   serving a write ([~at]) and its ack to the client, the primary ships
+   the payload to its backup, the backup applies it (service occupancy)
+   and acks. Returns the instant the primary may ack the client and
+   whether the mirror happened. A dead backup costs the primary its retry
+   budget and degrades the write (acked unreplicated) — the recovery
+   replay covers the gap. A dead primary propagates to the caller's
+   {!with_failover}. *)
+let replicate_ready t srv ~at ~payload_bytes =
+  if t.e.cfg.Config.replication = 0 then (at, false)
+  else
+    match Memory_server.backup srv with
+    | None -> (at, false)
+    | Some b ->
+      let pnode = Fabric.Scl.node (Memory_server.endpoint srv) in
+      let bnode = Fabric.Scl.node (Memory_server.endpoint b) in
+      (try
+         let m_arrival =
+           Fabric.Scl.reliable_transfer t.e.network ~now:at ~src:pnode
+             ~dst:bnode
+             ~bytes:(payload_bytes + mirror_overhead_wire)
+         in
+         let m_served =
+           Desim.Resource.reserve (Memory_server.service b) ~now:m_arrival
+             ~duration:(Memory_server.service_time_for_bytes b payload_bytes)
+         in
+         let ack =
+           Fabric.Scl.reliable_transfer t.e.network ~now:m_served ~src:bnode
+             ~dst:pnode ~bytes:Manager.ack_wire
+         in
+         (ack, true)
+       with Fabric.Scl.Node_dead (n, give_up) when n = bnode ->
+         Memory_server.note_degraded srv;
+         (Desim.Time.max at give_up, false))
+
+(* State side of the mirror, run after the client's round trip lands (ack
+   received <=> applied at primary and backup). [Diff.apply] /
+   [Update.apply_to_line] directly — the backup's own request counters
+   track client traffic, not mirrors — and versions forced equal to the
+   primary's, which is what makes promotion version-consistent. *)
+let mirror_diff srv (diff : Diff.t) ~version =
+  match Memory_server.backup srv with
+  | None -> ()
+  | Some b ->
+    Diff.apply diff (Memory_server.line b diff.Diff.line);
+    Memory_server.force_version b diff.Diff.line version
+
+let mirror_update t srv (u : Update.t) ~line_versions =
+  match Memory_server.backup srv with
+  | None -> ()
+  | Some b ->
+    List.iter
+      (fun (line, v) ->
+         Update.apply_to_line t.e.layout u ~line (Memory_server.line b line);
+         Memory_server.force_version b line v)
+      line_versions
 
 (* Protocol-event tracing: free when the engine's trace is Null. *)
 let trace t ~tag fmt =
@@ -219,18 +307,32 @@ let flush_entry t (entry : Cache.entry) =
     if Diff.is_empty diff then
       Cache.clean t.cache entry ~version:entry.Cache.version
     else begin
-      let srv = server_of t entry.Cache.line in
-      let sep = Memory_server.endpoint srv in
-      let arrival = transfer_to t ~dst:sep ~bytes:(Diff.wire_bytes diff) in
-      let served =
-        Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
-          ~duration:
-            (Memory_server.service_time_for_bytes srv
-               (Diff.payload_bytes diff))
+      let payload = Diff.payload_bytes diff in
+      let srv, v =
+        with_failover t (fun () ->
+            let srv = server_of t entry.Cache.line in
+            let sep = Memory_server.endpoint srv in
+            let arrival =
+              transfer_to t ~dst:sep ~bytes:(Diff.wire_bytes diff)
+            in
+            let served =
+              Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+                ~duration:(Memory_server.service_time_for_bytes srv payload)
+            in
+            let ready, mirrored =
+              replicate_ready t srv ~at:served ~payload_bytes:payload
+            in
+            let reply =
+              transfer_from t ~src:sep ~at:ready ~bytes:diff_reply_wire
+            in
+            delay_until t reply;
+            let v = Memory_server.apply_diff srv diff in
+            if mirrored then begin
+              mirror_diff srv diff ~version:v;
+              Memory_server.note_mirror srv ~bytes:payload
+            end;
+            (srv, v))
       in
-      let reply = transfer_from t ~src:sep ~at:served ~bytes:diff_reply_wire in
-      delay_until t reply;
-      let v = Memory_server.apply_diff srv diff in
       probe_publish t ~srv ~line:entry.Cache.line ~version:v;
       if traced t then
         trace t ~tag:"flush" "t%d line=%d bytes=%d v=%d (eviction)" t.id
@@ -271,9 +373,10 @@ let flush_dirty_all t =
     in
     List.concat_map
       (fun s ->
+         (* [s] is the logical home; the physical server is re-resolved
+            inside the retried block so a failover lands the whole batch
+            on the promoted replica. *)
          let batch = List.rev (Hashtbl.find by_server s) in
-         let srv = t.e.servers.(s) in
-         let sep = Memory_server.endpoint srv in
          let wire =
            List.fold_left (fun acc (_, d) -> acc + Diff.wire_bytes d) 0 batch
          in
@@ -281,24 +384,34 @@ let flush_dirty_all t =
            List.fold_left (fun acc (_, d) -> acc + Diff.payload_bytes d) 0
              batch
          in
-         let arrival = transfer_to t ~dst:sep ~bytes:wire in
-         let served =
-           Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
-             ~duration:(Memory_server.service_time_for_bytes srv payload)
-         in
-         let reply =
-           transfer_from t ~src:sep ~at:served
-             ~bytes:(diff_reply_wire + (12 * List.length batch))
-         in
-         delay_until t reply;
-         List.map
-           (fun ((entry : Cache.entry), diff) ->
-              let v = Memory_server.apply_diff srv diff in
-              probe_publish t ~srv ~line:entry.Cache.line ~version:v;
-              Hashtbl.replace t.interval_writes entry.Cache.line ();
-              Cache.clean t.cache entry ~version:v;
-              (entry.Cache.line, v))
-           batch)
+         with_failover t (fun () ->
+             let srv =
+               t.e.servers.(Directory.physical_of_logical t.e.dir s)
+             in
+             let sep = Memory_server.endpoint srv in
+             let arrival = transfer_to t ~dst:sep ~bytes:wire in
+             let served =
+               Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+                 ~duration:(Memory_server.service_time_for_bytes srv payload)
+             in
+             let ready, mirrored =
+               replicate_ready t srv ~at:served ~payload_bytes:payload
+             in
+             let reply =
+               transfer_from t ~src:sep ~at:ready
+                 ~bytes:(diff_reply_wire + (12 * List.length batch))
+             in
+             delay_until t reply;
+             if mirrored then Memory_server.note_mirror srv ~bytes:payload;
+             List.map
+               (fun ((entry : Cache.entry), diff) ->
+                  let v = Memory_server.apply_diff srv diff in
+                  if mirrored then mirror_diff srv diff ~version:v;
+                  probe_publish t ~srv ~line:entry.Cache.line ~version:v;
+                  Hashtbl.replace t.interval_writes entry.Cache.line ();
+                  Cache.clean t.cache entry ~version:v;
+                  (entry.Cache.line, v))
+               batch))
       servers
   end
 
@@ -409,15 +522,23 @@ let maybe_prefetch t line =
   then begin
     let srv = server_of t line in
     let sep = Memory_server.endpoint srv in
-    Fabric.Scl.async_read
-      ~service:(Memory_server.service srv)
-      ~service_time:(Memory_server.service_time_for_bytes srv 0)
-      ~src:t.endpoint ~dst:sep
-      ~bytes:(t.e.layout.Layout.line_bytes + fetch_reply_overhead)
-      ~on_complete:(fun _arrival ->
-        let data, version = Memory_server.fetch srv line in
-        Cache.pending_complete t.cache line ~data ~version)
-      ()
+    match
+      Fabric.Scl.async_read
+        ~service:(Memory_server.service srv)
+        ~service_time:(Memory_server.service_time_for_bytes srv 0)
+        ~src:t.endpoint ~dst:sep
+        ~bytes:(t.e.layout.Layout.line_bytes + fetch_reply_overhead)
+        ~on_complete:(fun _arrival ->
+          let data, version = Memory_server.fetch srv line in
+          Cache.pending_complete t.cache line ~data ~version)
+        ()
+    with
+    | () -> ()
+    | exception Fabric.Scl.Node_dead _ ->
+      (* The home crashed: this prefetch will never deliver. Drop the
+         in-flight slot so a later demand fetch (which retries through
+         the failover path) is not parked on it forever. *)
+      Cache.pending_abort t.cache line
   end
 
 (* Demand-fetch a line; the clock must already be synchronized. The miss
@@ -573,7 +694,8 @@ let locate t addr : Cache.entry =
              let start = now t in
              let e =
                match t.e.cfg.Config.model with
-               | Config.Regc -> demand_fetch t line
+               | Config.Regc ->
+                 with_failover t (fun () -> demand_fetch t line)
                | Config.Sc_invalidate -> sc_read_fetch t line
              in
              t.m_compute <- t.m_compute + Desim.Time.diff (now t) start;
@@ -922,33 +1044,45 @@ let flush_update_log t log =
     let merged = Hashtbl.create 16 in
     List.iter
       (fun s ->
+         (* [s] is the logical home; re-resolve the physical server inside
+            the retried block (see {!flush_dirty_all}). *)
          let batch = List.rev (Hashtbl.find by_server s) in
-         let srv = t.e.servers.(s) in
-         let sep = Memory_server.endpoint srv in
          let wire = Update.log_wire_bytes batch in
-         let arrival = transfer_to t ~dst:sep ~bytes:wire in
-         let served =
-           Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
-             ~duration:(Memory_server.service_time_for_bytes srv wire)
-         in
-         let reply =
-           transfer_from t ~src:sep ~at:served ~bytes:diff_reply_wire
-         in
-         delay_until t reply;
-         List.iter
-           (fun u ->
-              List.iter
-                (fun (line, v) ->
-                   probe_publish t ~srv ~line ~version:v;
-                   Hashtbl.replace merged line v;
-                   (* Our own cached copy already holds the stored values;
-                      track the new home version so barrier notices do not
-                      invalidate it spuriously. *)
-                   match Cache.peek t.cache line with
-                   | Some entry -> entry.Cache.version <- v
-                   | None -> ())
-                (Memory_server.apply_update srv u))
-           batch)
+         with_failover t (fun () ->
+             let srv =
+               t.e.servers.(Directory.physical_of_logical t.e.dir s)
+             in
+             let sep = Memory_server.endpoint srv in
+             let arrival = transfer_to t ~dst:sep ~bytes:wire in
+             let served =
+               Desim.Resource.reserve (Memory_server.service srv) ~now:arrival
+                 ~duration:(Memory_server.service_time_for_bytes srv wire)
+             in
+             let ready, mirrored =
+               replicate_ready t srv ~at:served ~payload_bytes:wire
+             in
+             let reply =
+               transfer_from t ~src:sep ~at:ready ~bytes:diff_reply_wire
+             in
+             delay_until t reply;
+             if mirrored then Memory_server.note_mirror srv ~bytes:wire;
+             List.iter
+               (fun u ->
+                  let lvs = Memory_server.apply_update srv u in
+                  if mirrored then
+                    mirror_update t srv u ~line_versions:lvs;
+                  List.iter
+                    (fun (line, v) ->
+                       probe_publish t ~srv ~line ~version:v;
+                       Hashtbl.replace merged line v;
+                       (* Our own cached copy already holds the stored
+                          values; track the new home version so barrier
+                          notices do not invalidate it spuriously. *)
+                       match Cache.peek t.cache line with
+                       | Some entry -> entry.Cache.version <- v
+                       | None -> ())
+                    lvs)
+               batch))
       servers;
     (* Note: lines touched here are deliberately NOT added to
        interval_writes. Under RegC, consistency-region data propagates via
@@ -1175,3 +1309,4 @@ let sync_ns t = t.m_sync
 let alloc_ns t = t.m_alloc
 let lock_acquires t = t.m_locks
 let barrier_waits t = t.m_barriers
+let failover_waits t = t.m_failovers

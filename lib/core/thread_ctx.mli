@@ -30,6 +30,9 @@ type env = {
   engine : Desim.Engine.t;
   network : Fabric.Network.t;
   servers : Memory_server.t array;
+  dir : Directory.t;
+      (** Logical-to-physical stripe map; identity until a crash recovery
+          promotes a backup ({!Directory}). *)
   manager : Manager.t;
   sc : Coherence_sc.t;  (** Directory for the Sc_invalidate model. *)
   san : Analysis.Regcsan.t option;
@@ -120,3 +123,7 @@ val sync_ns : t -> int
 val alloc_ns : t -> int
 val lock_acquires : t -> int
 val barrier_waits : t -> int
+
+val failover_waits : t -> int
+(** Times this thread hit a dead memory server and re-ran the interaction
+    through the directory (after parking for recovery if needed). *)

@@ -44,6 +44,9 @@ type t = {
   level : level;
   p : params;
   rng : Desim.Rng.t;
+  (* Fail-stop crash spec: this node is dead from the given instant on.
+     At most one node crashes per run (single-failure model). *)
+  crash : (int * Desim.Time.t) option;
   (* Delivery-order floor per (src,dst): the fabric reorders traffic only
      across distinct pairs (differential jitter); within one pair it
      delivers in order, like a reliable-connection QP. *)
@@ -54,20 +57,34 @@ type t = {
   mutable reordered : int;
   mutable dropped : int;
   mutable retried : int;
+  mutable dead_sends : int;
 }
 
-let create ~seed ~level =
+let create ?crash ~seed ~level () =
   { level;
     p = params_of_level level;
     rng = Desim.Rng.create ~seed;
+    crash;
     last_arrival = Hashtbl.create 64;
     drops_in_row = Hashtbl.create 64;
     delayed = 0;
     reordered = 0;
     dropped = 0;
-    retried = 0 }
+    retried = 0;
+    dead_sends = 0 }
 
 let level t = t.level
+let crash t = t.crash
+
+(* Deadness is a pure function of time, not a mutable flag: protocol
+   timing chains are computed eagerly at future instants, so callers need
+   to ask "is this node dead at instant T?" for arbitrary T. *)
+let node_dead t ~node ~at =
+  match t.crash with
+  | Some (n, since) -> n = node && Desim.Time.( <= ) since at
+  | None -> false
+
+let note_dead_send t = t.dead_sends <- t.dead_sends + 1
 
 let should_drop t ~src ~dst =
   if t.p.drop_p = 0. then false
@@ -112,7 +129,13 @@ let messages_delayed t = t.delayed
 let messages_reordered t = t.reordered
 let messages_dropped t = t.dropped
 let messages_retried t = t.retried
+let messages_dead t = t.dead_sends
 
 let pp ppf t =
   Format.fprintf ppf "faults=%s delayed=%d reordered=%d dropped=%d retried=%d"
-    (level_name t.level) t.delayed t.reordered t.dropped t.retried
+    (level_name t.level) t.delayed t.reordered t.dropped t.retried;
+  match t.crash with
+  | None -> ()
+  | Some (n, at) ->
+    Format.fprintf ppf " crash=node%d@%a dead-sends=%d" n Desim.Time.pp at
+      t.dead_sends

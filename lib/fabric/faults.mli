@@ -24,8 +24,23 @@ val level_of_string : string -> (level, string) result
 
 type t
 
-val create : seed:int -> level:level -> t
+val create : ?crash:int * Desim.Time.t -> seed:int -> level:level -> unit -> t
+(** [crash] is a fail-stop spec [(node, instant)]: the node is dead from
+    that instant on (it neither sends nor receives; see {!node_dead}). At
+    most one node crashes per run. *)
+
 val level : t -> level
+
+val crash : t -> (int * Desim.Time.t) option
+
+val node_dead : t -> node:int -> at:Desim.Time.t -> bool
+(** Whether the crash spec has [node] dead at instant [at]. Pure in time —
+    callers evaluating eagerly-computed timing chains may ask about any
+    instant, past or future. *)
+
+val note_dead_send : t -> unit
+(** A transmission was addressed to a node that is dead at the send
+    instant (recorded by {!Network.try_transfer}). *)
 
 val should_drop : t -> src:int -> dst:int -> bool
 (** Decide (one RNG draw when the level drops at all) whether this
@@ -45,5 +60,6 @@ val messages_delayed : t -> int
 val messages_reordered : t -> int
 val messages_dropped : t -> int
 val messages_retried : t -> int
+val messages_dead : t -> int
 
 val pp : Format.formatter -> t -> unit

@@ -72,9 +72,34 @@ let transfer t ~now ~src ~dst ~bytes =
 (* A transfer that may be lost in the fabric. A dropped message still paid
    the post overhead and occupied the injection port (it left the sender
    and died in flight); it never reaches the receive port. Loopbacks and
-   fault-free networks always deliver. *)
+   fault-free networks always deliver.
+
+   Fail-stop crashes surface here too: a message addressed to a node that
+   is dead at the send instant leaves the sender and dies at the silent
+   NIC ([`Node_dead dst]); a dead source cannot transmit at all
+   ([`Node_dead src], nothing enters the fabric). Deadness is checked at
+   the send instant — a message already in flight when its target dies is
+   delivered (the bytes were committed to the wire). *)
 let try_transfer t ~now ~src ~dst ~bytes =
   match t.faults with
+  | Some f
+    when src <> dst
+         && (Faults.node_dead f ~node:src ~at:now
+             || Faults.node_dead f ~node:dst ~at:now) ->
+    check_node t src;
+    check_node t dst;
+    if bytes < 0 then invalid_arg "Network.try_transfer: negative size";
+    if Faults.node_dead f ~node:src ~at:now then `Node_dead src
+    else begin
+      t.messages <- t.messages + 1;
+      t.bytes <- t.bytes + bytes;
+      let wire_bytes = bytes + t.profile.Profile.header_bytes in
+      let start = Desim.Time.add now t.profile.Profile.post_overhead in
+      ignore (Link.occupy t.tx.(src) ~now:start ~bytes:wire_bytes
+              : Desim.Time.t);
+      Faults.note_dead_send f;
+      `Node_dead dst
+    end
   | Some f when src <> dst && Faults.should_drop f ~src ~dst ->
     check_node t src;
     check_node t dst;

@@ -23,6 +23,14 @@ let retry_timeout net ~bytes ~attempt =
   let rtt = 2 * Network.one_way_estimate net ~bytes + retry_slack in
   rtt lsl min attempt max_backoff_shift
 
+exception Node_dead of Network.node * Desim.Time.t
+
+(* How many retransmissions a sender pays before declaring the peer dead.
+   A crashed node looks exactly like a lossy path until the budget is
+   exhausted; transient drops are bounded per pair (Faults), so a live
+   peer always answers within the budget. *)
+let dead_retry_budget = 4
+
 let reliable_transfer net ~now ~src ~dst ~bytes =
   match Network.faults net with
   | None -> Network.transfer net ~now ~src ~dst ~bytes
@@ -34,6 +42,13 @@ let reliable_transfer net ~now ~src ~dst ~bytes =
         Faults.note_retry f;
         go (attempt + 1)
           (Desim.Time.add now (retry_timeout net ~bytes ~attempt))
+      | `Node_dead n ->
+        if attempt >= dead_retry_budget then raise (Node_dead (n, now))
+        else begin
+          Faults.note_retry f;
+          go (attempt + 1)
+            (Desim.Time.add now (retry_timeout net ~bytes ~attempt))
+        end
     in
     go 0 now
 

@@ -49,6 +49,19 @@ val request_bytes : int
 
 (** {2 Reliable delivery under fault injection} *)
 
+exception Node_dead of Network.node * Desim.Time.t
+(** [Node_dead (n, give_up)] — the peer [n] is fail-stop dead:
+    {!reliable_transfer} exhausted its retry budget against a node the
+    crash spec has dead at every send instant. [give_up] is the send
+    instant of the final (failed) attempt, i.e. the earliest time the
+    sender can know; all the timeouts paid along the way are included. *)
+
+val dead_retry_budget : int
+(** Retransmissions paid before {!reliable_transfer} escalates to
+    {!Node_dead} ([dead_retry_budget + 1] transmissions in total). Larger
+    than any level's [max_consecutive_drops], so a live peer never gets
+    declared dead. *)
+
 val reliable_transfer :
   Network.t -> now:Desim.Time.t -> src:Network.node -> dst:Network.node ->
   bytes:int -> Desim.Time.t
@@ -59,8 +72,16 @@ val reliable_transfer :
     Pure timing computation — callable outside a process, like
     [Network.transfer]. The protocol layers ({!Samhita.Thread_ctx},
     {!Samhita.Manager}) route every protocol message through this, which
-    is what makes RegC survive transient loss. *)
+    is what makes RegC survive transient loss.
+
+    @raise Node_dead when an endpoint is fail-stop dead and the retry
+    budget is exhausted. *)
 
 val retry_timeout : Network.t -> bytes:int -> attempt:int -> Desim.Time.span
 (** The timeout before retransmission number [attempt + 1] (exposed for
     tests). *)
+
+val max_backoff_shift : int
+(** Cap on the exponential backoff: {!retry_timeout} stops doubling at
+    attempt [max_backoff_shift] (a [2^max_backoff_shift] multiple of the
+    attempt-0 timeout) and stays constant for every later attempt. *)

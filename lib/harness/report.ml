@@ -24,6 +24,7 @@ type t = {
   threads : thread_stats list;
   san : Analysis.Regcsan.t option;
   faults : Samhita.Metrics.faults option;
+  repl : Samhita.Metrics.replication option;
 }
 
 let of_system sys =
@@ -61,7 +62,8 @@ let of_system sys =
              t_dirty_evictions = Samhita.Cache.dirty_evictions cache })
         (Samhita.System.threads sys);
     san = Samhita.System.sanitizer sys;
-    faults = Samhita.Metrics.faults_of_system sys }
+    faults = Samhita.Metrics.faults_of_system sys;
+    repl = Samhita.Metrics.replication_of_system sys }
 
 let fabric_bytes t = t.net_bytes
 let fabric_messages t = t.net_messages
@@ -89,6 +91,7 @@ let sanitizer_findings t =
   Option.map Analysis.Regcsan.findings_count t.san
 
 let fault_counters t = t.faults
+let replication_counters t = t.repl
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>== run report ==@,";
@@ -112,6 +115,11 @@ let pp ppf t =
    | Some f ->
      Format.fprintf ppf "fault injection     %a@," Samhita.Metrics.pp_faults
        f);
+  (match t.repl with
+   | None -> ()
+   | Some r ->
+     Format.fprintf ppf "fault tolerance     %a@,"
+       Samhita.Metrics.pp_replication r);
   Format.fprintf ppf "cache hit rate      %.4f (%d hits / %d misses)@,"
     (hit_rate t) (total_hits t) (total_misses t);
   List.iter

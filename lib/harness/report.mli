@@ -35,3 +35,7 @@ val sanitizer_findings : t -> int option
 val fault_counters : t -> Samhita.Metrics.faults option
 (** Fault-injection counters (delayed / reordered / dropped / retried),
     when the run had a {!Fabric.Faults} policy attached. *)
+
+val replication_counters : t -> Samhita.Metrics.replication option
+(** Crash-fault-tolerance counters (mirrors, heartbeats, promotions,
+    replays), when the run had replication or an injected crash. *)

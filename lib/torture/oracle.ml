@@ -10,8 +10,9 @@ type t = {
   line_bytes : int;
   (* Word address -> set of values ever published there (home merges). *)
   published : (int, (int64, unit) Hashtbl.t) Hashtbl.t;
-  (* (server, line) -> copy of the line at its last publication. *)
-  last_line : (int * int, bytes) Hashtbl.t;
+  (* (server, line) -> (copy, version) of the line at its last
+     publication. *)
+  last_line : (int * int, bytes * int) Hashtbl.t;
   (* (thread, word address) -> that thread's last program-order store. *)
   own : (int * int, int64) Hashtbl.t;
   (* Words touched by sub-word/bulk stores: legality not word-expressible. *)
@@ -22,6 +23,11 @@ type t = {
   episodes : (int * int, int ref * int ref) Hashtbl.t;
   (* (barrier, thread) -> last arrive epoch (must strictly increase). *)
   last_arrive : (int * int, int) Hashtbl.t;
+  (* Crash/recovery events, in detection order (single-failure model
+     means at most one of each today; lists keep the checks general). *)
+  mutable crashes_rev : (int * int * int) list;  (* time, node, server *)
+  mutable recoveries_rev : (int * int * int * int) list;
+      (* time, failed, promoted, replayed *)
   mutable violations_rev : violation list;
   mutable n_violations : int;
   mutable events : int;
@@ -40,6 +46,8 @@ let create ~config () =
     live = Hashtbl.create 64;
     episodes = Hashtbl.create 64;
     last_arrive = Hashtbl.create 64;
+    crashes_rev = [];
+    recoveries_rev = [];
     violations_rev = [];
     n_violations = 0;
     events = 0;
@@ -49,6 +57,8 @@ let create ~config () =
     trace_next = 0 }
 
 let violations t = List.rev t.violations_rev
+let crashes t = List.length t.crashes_rev
+let recoveries t = List.length t.recoveries_rev
 let events t = t.events
 let reads_checked t = t.reads_checked
 let digest t = t.digest
@@ -160,7 +170,7 @@ let on_publish t ~thread ~time ~server ~line ~version ~data =
     end
   done;
   (* Keep a snapshot (the probe's buffer is the home's live line). *)
-  Hashtbl.replace t.last_line (server, line) (Bytes.copy data)
+  Hashtbl.replace t.last_line (server, line) (Bytes.copy data, version)
 
 let on_malloc t ~thread ~time ~addr ~bytes =
   t.events <- t.events + 1;
@@ -248,6 +258,19 @@ let on_sync t ~thread ~time ~op =
   in
   fold t tag (thread lxor (id lsl 8) lxor time)
 
+let on_crash t ~time ~node ~server =
+  t.events <- t.events + 1;
+  fold t 14 (node lxor (server lsl 8) lxor time);
+  record t "t=%d CRASH node=%d server=%d" time node server;
+  t.crashes_rev <- (time, node, server) :: t.crashes_rev
+
+let on_recovery t ~time ~failed ~promoted ~replayed =
+  t.events <- t.events + 1;
+  fold t 15 (failed lxor (promoted lsl 8) lxor (replayed lsl 16) lxor time);
+  record t "t=%d RECOVERY failed=%d promoted=%d replayed=%d" time failed
+    promoted replayed;
+  t.recoveries_rev <- (time, failed, promoted, replayed) :: t.recoveries_rev
+
 let probe t =
   let ns = Desim.Time.to_ns in
   { Samhita.Probe.on_read = (fun ~thread ~time ~addr ~len ~value ->
@@ -262,7 +285,11 @@ let probe t =
         on_free t ~thread ~time:(ns time) ~addr ~bytes);
     on_barrier = (fun ~thread ~time ~barrier ~epoch ~phase ->
         on_barrier t ~thread ~time:(ns time) ~barrier ~epoch ~phase);
-    on_sync = (fun ~thread ~time ~op -> on_sync t ~thread ~time:(ns time) ~op) }
+    on_sync = (fun ~thread ~time ~op -> on_sync t ~thread ~time:(ns time) ~op);
+    on_crash = (fun ~time ~node ~server ->
+        on_crash t ~time:(ns time) ~node ~server);
+    on_recovery = (fun ~time ~failed ~promoted ~replayed ->
+        on_recovery t ~time:(ns time) ~failed ~promoted ~replayed) }
 
 let attach t sys = Samhita.System.set_probe sys (probe t)
 
@@ -295,16 +322,71 @@ let finalize t sys =
      checks diff application is idempotent with respect to replays the
      retry layer could cause). *)
   let servers = Samhita.System.servers sys in
+  let failed_servers =
+    List.map (fun (_, _, srv) -> srv) t.crashes_rev
+  in
   Hashtbl.iter
-    (fun (server, line) snap ->
-       let live = Samhita.Memory_server.line servers.(server) line in
-       if not (Bytes.equal live snap) then
-         note_violation t ~v_class:"home-divergence"
-           (Printf.sprintf
-              "server %d line %d diverged from its last observed \
-               publication"
-              server line))
+    (fun (server, line) (snap, _version) ->
+       (* A crashed server's store is frozen mid-protocol: a mirror acked
+          by its backup may never have reached it, so only live servers
+          must match their last publication. The crashed stripe's fate is
+          checked against the promoted replica below. *)
+       if not (List.mem server failed_servers) then
+         let live = Samhita.Memory_server.line servers.(server) line in
+         if not (Bytes.equal live snap) then
+           note_violation t ~v_class:"home-divergence"
+             (Printf.sprintf
+                "server %d line %d diverged from its last observed \
+                 publication"
+                server line))
     t.last_line;
+  (* Post-recovery invariants, per completed recovery:
+     - version consistency: the promoted replica must be at least as new
+       as every publication acknowledged by the dead primary;
+     - durability: no acknowledged write lost — every nonzero word of the
+       dead primary's last published snapshot must either survive on the
+       promoted replica or have been overwritten by another published
+       value. *)
+  List.iter
+    (fun (_, failed, promoted, _) ->
+       let psrv = servers.(promoted) in
+       Hashtbl.iter
+         (fun (server, line) (snap, version) ->
+            if server = failed then begin
+              let pv = Samhita.Memory_server.version psrv line in
+              if pv < version then
+                note_violation t ~v_class:"stale-promotion"
+                  (Printf.sprintf
+                     "promoted server %d holds line %d at version %d but \
+                      the crashed primary %d acknowledged version %d"
+                     promoted line pv failed version);
+              let live = Samhita.Memory_server.line psrv line in
+              let base = line * t.line_bytes in
+              for w = 0 to (t.line_bytes / 8) - 1 do
+                let v = Bytes.get_int64_le snap (w * 8) in
+                if v <> 0L then begin
+                  let cur = Bytes.get_int64_le live (w * 8) in
+                  let legal =
+                    cur = v
+                    || (match Hashtbl.find_opt t.published (base + (w * 8))
+                        with
+                        | Some set -> Hashtbl.mem set cur
+                        | None -> false)
+                  in
+                  if not legal then
+                    note_violation t ~v_class:"lost-acked-write"
+                      (Printf.sprintf
+                         "line %d word at 0x%x: crashed primary %d had \
+                          acknowledged 0x%Lx but promoted server %d holds \
+                          0x%Lx (never published)"
+                         line
+                         (base + (w * 8))
+                         failed v promoted cur)
+                end
+              done
+            end)
+         t.last_line)
+    t.recoveries_rev;
   (* Barrier episodes must balance: every released thread departs. *)
   Hashtbl.iter
     (fun (barrier, epoch) (arrivals, departures) ->

@@ -20,6 +20,7 @@ type outcome = {
   o_violations : Oracle.violation list;
   o_trace : string list;
   o_faults : Samhita.Metrics.faults option;
+  o_repl : Samhita.Metrics.replication option;
 }
 
 (* Seed-derived system geometry for the compute kernels: small lines and
@@ -27,40 +28,63 @@ type outcome = {
    history lengths flip acquirers between patch and invalidate paths. The
    racy kernel keeps the default geometry — its per-class defect counts
    are pinned by a test and must not depend on eviction accidents. *)
-let config_for ~kernel ~level ~seed rng =
-  match kernel with
-  | Racy ->
-    { Samhita.Config.default with
-      Samhita.Config.seed;
-      fault_level = level;
-      shuffle = true }
-  | Micro | Jacobi ->
-    let pick l = List.nth l (Desim.Rng.int rng (List.length l)) in
-    let page_bytes = pick [ 256; 512 ] in
-    let pages_per_line = pick [ 1; 2 ] in
-    let line = page_bytes * pages_per_line in
-    { Samhita.Config.default with
-      Samhita.Config.seed;
-      fault_level = level;
-      shuffle = true;
-      page_bytes;
-      pages_per_line;
-      cache_lines = pick [ 4; 8; 32 ];
-      prefetch = Desim.Rng.bool rng;
-      evict_dirty_first = Desim.Rng.bool rng;
-      small_threshold = 1024;
-      large_threshold = 64 * 1024;
-      arena_chunk_bytes = 16 * line;
-      stripe_lines = pick [ 1; 2; 4 ];
-      update_log_history = pick [ 0; 1; 64 ];
-      memory_servers = pick [ 1; 2; 3 ];
-      threads_per_node = pick [ 1; 2; 4 ] }
+let config_for ~kernel ~level ~crash ~seed rng =
+  let base =
+    match kernel with
+    | Racy ->
+      { Samhita.Config.default with
+        Samhita.Config.seed;
+        fault_level = level;
+        shuffle = true }
+    | Micro | Jacobi ->
+      let pick l = List.nth l (Desim.Rng.int rng (List.length l)) in
+      let page_bytes = pick [ 256; 512 ] in
+      let pages_per_line = pick [ 1; 2 ] in
+      let line = page_bytes * pages_per_line in
+      { Samhita.Config.default with
+        Samhita.Config.seed;
+        fault_level = level;
+        shuffle = true;
+        page_bytes;
+        pages_per_line;
+        cache_lines = pick [ 4; 8; 32 ];
+        prefetch = Desim.Rng.bool rng;
+        evict_dirty_first = Desim.Rng.bool rng;
+        small_threshold = 1024;
+        large_threshold = 64 * 1024;
+        arena_chunk_bytes = 16 * line;
+        stripe_lines = pick [ 1; 2; 4 ];
+        update_log_history = pick [ 0; 1; 64 ];
+        memory_servers = pick [ 1; 2; 3 ];
+        threads_per_node = pick [ 1; 2; 4 ] }
+  in
+  if not crash then base
+  else begin
+    (* Crash mode: replicated geometry (at least two servers so a backup
+       exists) with one seed-chosen server killed at a seed-chosen
+       instant. The racy kernel keeps its minimal replicated geometry for
+       the same pinned-count reason as above. Draws happen after all
+       geometry draws so crash mode perturbs only the crash spec's own
+       stream position, never the geometry. *)
+    let ms =
+      match kernel with
+      | Racy -> 2
+      | Micro | Jacobi -> 2 + Desim.Rng.int rng 2
+    in
+    let victim = Desim.Rng.int rng ms in
+    let at = 5_000 + Desim.Rng.int rng 500_000 in
+    { base with
+      Samhita.Config.memory_servers = ms;
+      replication = 1;
+      lease_interval = Desim.Time.ns 20_000;
+      crash_server = Some (victim, at) }
+  end
 
-let run_one ~kernel ~level ~seed =
+let run_one ?(crash = false) ~kernel ~level ~seed () =
   (* All scenario draws come from a stream independent of the system's own
      seeded streams (engine tie-break, fault policy). *)
   let rng = Desim.Rng.create ~seed:(Desim.Rng.hash3 seed 0x746f72 1) in
-  let config = config_for ~kernel ~level ~seed rng in
+  let config = config_for ~kernel ~level ~crash ~seed rng in
   let oracle = Oracle.create ~config () in
   let captured = ref None in
   let on_create sys =
@@ -156,6 +180,10 @@ let run_one ~kernel ~level ~seed =
     o_faults =
       (match !captured with
        | Some sys -> Samhita.Metrics.faults_of_system sys
+       | None -> None);
+    o_repl =
+      (match !captured with
+       | Some sys -> Samhita.Metrics.replication_of_system sys
        | None -> None) }
 
 type summary = {
@@ -165,21 +193,24 @@ type summary = {
   s_events : int;
   s_reads_checked : int;
   s_faults : Samhita.Metrics.faults;
+  s_promotions : int;
   s_failures : outcome list;
 }
 
-let run ?(replay_check = true) ~kernel ~level ~seeds ~base_seed () =
+let run ?(replay_check = true) ?(crash = false) ~kernel ~level ~seeds
+    ~base_seed () =
   if seeds <= 0 then invalid_arg "Torture.Runner.run: seeds must be positive";
   let failures = ref [] in
   let events = ref 0 and reads = ref 0 in
   let fd = ref 0 and fr = ref 0 and fo = ref 0 and ft = ref 0 in
+  let promotions = ref 0 in
   for i = 0 to seeds - 1 do
     let seed = base_seed + i in
-    let o = run_one ~kernel ~level ~seed in
+    let o = run_one ~crash ~kernel ~level ~seed () in
     let o =
       if not replay_check then o
       else begin
-        let o2 = run_one ~kernel ~level ~seed in
+        let o2 = run_one ~crash ~kernel ~level ~seed () in
         if
           o2.o_digest <> o.o_digest
           || o2.o_events <> o.o_events
@@ -207,6 +238,9 @@ let run ?(replay_check = true) ~kernel ~level ~seeds ~base_seed () =
        fr := !fr + f.Samhita.Metrics.dropped;
        ft := !ft + f.Samhita.Metrics.retried
      | None -> ());
+    (match o.o_repl with
+     | Some r -> promotions := !promotions + r.Samhita.Metrics.promotions
+     | None -> ());
     if o.o_violations <> [] then failures := o :: !failures
   done;
   { s_kernel = kernel;
@@ -219,6 +253,7 @@ let run ?(replay_check = true) ~kernel ~level ~seeds ~base_seed () =
         reordered = !fo;
         dropped = !fr;
         retried = !ft };
+    s_promotions = !promotions;
     s_failures = List.rev !failures }
 
 let pp_outcome ppf o =
@@ -237,9 +272,12 @@ let pp_outcome ppf o =
 let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>torture %s faults=%s: %d seed(s), %d events, %d reads checked@,\
-     injected: %a@,%s@]"
+     injected: %a@,"
     (kernel_name s.s_kernel)
     (Fabric.Faults.level_name s.s_level)
-    s.s_runs s.s_events s.s_reads_checked Samhita.Metrics.pp_faults s.s_faults
+    s.s_runs s.s_events s.s_reads_checked Samhita.Metrics.pp_faults s.s_faults;
+  if s.s_promotions > 0 then
+    Format.fprintf ppf "crash recovery: %d promotion(s)@," s.s_promotions;
+  Format.fprintf ppf "%s@]"
     (if s.s_failures = [] then "all seeds clean"
      else Printf.sprintf "%d FAILING seed(s)" (List.length s.s_failures))

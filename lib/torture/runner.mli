@@ -22,12 +22,19 @@ type outcome = {
   o_violations : Oracle.violation list;
   o_trace : string list;  (** Oracle trace tail, oldest first. *)
   o_faults : Samhita.Metrics.faults option;
+  o_repl : Samhita.Metrics.replication option;
+      (** Crash-fault-tolerance counters; [None] outside crash mode. *)
 }
 
 val run_one :
-  kernel:kernel -> level:Fabric.Faults.level -> seed:int -> outcome
+  ?crash:bool ->
+  kernel:kernel -> level:Fabric.Faults.level -> seed:int -> unit -> outcome
 (** One deterministic torture run. Deadlock ([Desim.Engine.Stalled]) and
-    kernel crashes are reported as violations, never raised. *)
+    kernel crashes are reported as violations, never raised. With [crash]
+    (default off) the seed additionally derives a replicated geometry
+    (primary-backup, short leases) and a fail-stop crash of one
+    seed-chosen memory server at a seed-chosen instant; the oracle then
+    also checks the post-recovery invariants ({!Oracle}). *)
 
 type summary = {
   s_kernel : kernel;
@@ -36,18 +43,20 @@ type summary = {
   s_events : int;
   s_reads_checked : int;
   s_faults : Samhita.Metrics.faults;  (** Summed over all runs. *)
+  s_promotions : int;  (** Backup promotions summed over all runs. *)
   s_failures : outcome list;  (** Seeds with at least one violation. *)
 }
 
 val run :
   ?replay_check:bool ->
+  ?crash:bool ->
   kernel:kernel ->
   level:Fabric.Faults.level ->
   seeds:int -> base_seed:int -> unit -> summary
 (** Torture [seeds] consecutive seeds starting at [base_seed]. With
     [replay_check] (default on) every seed runs twice and any divergence
     in digest, event count or makespan is itself a ["nondeterminism"]
-    violation. *)
+    violation. [crash] is passed through to {!run_one}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Failing-seed report: violations then the trace tail. *)

@@ -31,7 +31,7 @@ let test_level_of_string () =
     (Result.is_error (Fabric.Faults.level_of_string "chaotic"))
 
 let test_off_is_inert () =
-  let f = Fabric.Faults.create ~seed:1 ~level:Fabric.Faults.Off in
+  let f = Fabric.Faults.create ~seed:1 ~level:Fabric.Faults.Off () in
   for _ = 1 to 100 do
     Alcotest.(check bool) "never drops" false
       (Fabric.Faults.should_drop f ~src:0 ~dst:1)
@@ -46,7 +46,7 @@ let test_off_is_inert () =
 let test_bounded_consecutive_drops () =
   (* High allows at most 3 consecutive drops per pair: with no delivery in
      between, a pair's drop budget never replenishes. *)
-  let f = Fabric.Faults.create ~seed:7 ~level:Fabric.Faults.High in
+  let f = Fabric.Faults.create ~seed:7 ~level:Fabric.Faults.High () in
   let drops = ref 0 in
   for _ = 1 to 10_000 do
     if Fabric.Faults.should_drop f ~src:0 ~dst:1 then incr drops
@@ -70,7 +70,7 @@ let test_per_pair_monotonic () =
   (* Within one (src,dst) pair delivery order is preserved: perturbed
      arrivals are strictly increasing even when the nominal arrivals are
      identical (reorder-scale delays would otherwise leapfrog). *)
-  let f = Fabric.Faults.create ~seed:42 ~level:Fabric.Faults.High in
+  let f = Fabric.Faults.create ~seed:42 ~level:Fabric.Faults.High () in
   let last = ref (-1) in
   for _ = 1 to 500 do
     let a =
@@ -88,7 +88,7 @@ let test_per_pair_monotonic () =
 
 let test_seed_determinism () =
   let run seed =
-    let f = Fabric.Faults.create ~seed ~level:Fabric.Faults.High in
+    let f = Fabric.Faults.create ~seed ~level:Fabric.Faults.High () in
     let out = ref [] in
     for i = 0 to 199 do
       let src = i mod 3 and dst = (i + 1) mod 3 in
@@ -122,7 +122,7 @@ let test_reliable_transfer_no_faults () =
                          ~bytes:1000))
 
 let test_reliable_transfer_retries_through_drops () =
-  let faults = Fabric.Faults.create ~seed:3 ~level:Fabric.Faults.High in
+  let faults = Fabric.Faults.create ~seed:3 ~level:Fabric.Faults.High () in
   let _, net = mk_net ~faults () in
   let base = Fabric.Network.one_way_estimate net ~bytes:256 in
   for i = 0 to 199 do
@@ -147,6 +147,107 @@ let test_retry_timeout_backoff () =
   Alcotest.(check int) "backoff capped" (t 4) (t 5);
   Alcotest.(check int) "cap is 16x" (16 * t 0) (t 9)
 
+let test_backoff_cap_boundary () =
+  (* Pin the cap itself: the last growing attempt is max_backoff_shift = 4;
+     every attempt past it pays exactly the same (capped) timeout, however
+     large the attempt counter grows. *)
+  Alcotest.(check int) "max_backoff_shift is pinned" 4
+    Fabric.Scl.max_backoff_shift;
+  let _, net = mk_net () in
+  let t k = Fabric.Scl.retry_timeout net ~bytes:512 ~attempt:k in
+  Alcotest.(check int) "attempt 3 still below cap" (8 * t 0) (t 3);
+  Alcotest.(check int) "attempt 4 reaches the cap" (16 * t 0) (t 4);
+  Alcotest.(check int) "attempt 5 stays at the cap" (t 4) (t 5);
+  Alcotest.(check int) "attempt 100 stays at the cap" (t 4) (t 100);
+  Alcotest.(check int) "attempt max_int stays at the cap" (t 4) (t max_int)
+
+(* ---------------- fail-stop crash escalation ---------------- *)
+
+let test_crash_deadness_is_time_based () =
+  let since = Desim.Time.of_ns 10_000 in
+  let f =
+    Fabric.Faults.create ~crash:(2, since) ~seed:1 ~level:Fabric.Faults.Off ()
+  in
+  Alcotest.(check bool) "alive before the crash instant" false
+    (Fabric.Faults.node_dead f ~node:2 ~at:(Desim.Time.of_ns 9_999));
+  Alcotest.(check bool) "dead at the crash instant" true
+    (Fabric.Faults.node_dead f ~node:2 ~at:since);
+  Alcotest.(check bool) "dead forever after" true
+    (Fabric.Faults.node_dead f ~node:2 ~at:(Desim.Time.of_ns 1_000_000));
+  Alcotest.(check bool) "other nodes unaffected" false
+    (Fabric.Faults.node_dead f ~node:1 ~at:(Desim.Time.of_ns 1_000_000))
+
+let test_dead_dst_escalates_after_budget () =
+  (* A send to a crashed destination is swallowed (it occupies the wire:
+     the sender cannot know) and retried; after exactly
+     [dead_retry_budget] retransmissions — each counted once by
+     [note_retry] — the sender gives up with [Node_dead]. *)
+  let faults =
+    Fabric.Faults.create ~crash:(1, t0) ~seed:5 ~level:Fabric.Faults.Off ()
+  in
+  let _, net = mk_net ~faults () in
+  let raised =
+    try
+      ignore
+        (Fabric.Scl.reliable_transfer net ~now:t0 ~src:0 ~dst:1 ~bytes:256
+         : Desim.Time.t);
+      None
+    with Fabric.Scl.Node_dead (n, at) -> Some (n, at)
+  in
+  (match raised with
+   | None -> Alcotest.fail "expected Node_dead"
+   | Some (n, at) ->
+     Alcotest.(check int) "names the dead node" 1 n;
+     (* The give-up instant is the send instant of the final attempt: the
+        sum of the timeouts of attempts 0 .. budget-1. *)
+     let expect =
+       let acc = ref 0 in
+       for k = 0 to Fabric.Scl.dead_retry_budget - 1 do
+         acc := !acc + Fabric.Scl.retry_timeout net ~bytes:256 ~attempt:k
+       done;
+       !acc
+     in
+     Alcotest.(check int) "give-up instant = sum of paid timeouts" expect
+       (Desim.Time.to_ns at));
+  Alcotest.(check int) "one note_retry per retransmission, exactly"
+    Fabric.Scl.dead_retry_budget
+    (Fabric.Faults.messages_retried faults);
+  (* budget + 1 transmissions entered the fabric and were swallowed. *)
+  Alcotest.(check int) "every transmission swallowed and counted"
+    (Fabric.Scl.dead_retry_budget + 1)
+    (Fabric.Faults.messages_dead faults)
+
+let test_dead_src_sends_nothing () =
+  (* A dead source cannot transmit: nothing enters the fabric (no
+     dead-send counted), but the caller still pays the retry schedule
+     before concluding the peer — itself — is gone. *)
+  let faults =
+    Fabric.Faults.create ~crash:(0, t0) ~seed:5 ~level:Fabric.Faults.Off ()
+  in
+  let _, net = mk_net ~faults () in
+  Alcotest.check_raises "escalates" (Failure "Node_dead") (fun () ->
+      try
+        ignore
+          (Fabric.Scl.reliable_transfer net ~now:t0 ~src:0 ~dst:1 ~bytes:64
+           : Desim.Time.t)
+      with Fabric.Scl.Node_dead (0, _) -> failwith "Node_dead");
+  Alcotest.(check int) "nothing entered the fabric" 0
+    (Fabric.Faults.messages_dead faults)
+
+let test_delivery_before_crash_instant () =
+  (* Sends completing before the crash instant behave normally. *)
+  let faults =
+    Fabric.Faults.create ~crash:(1, Desim.Time.of_ns 1_000_000) ~seed:5
+      ~level:Fabric.Faults.Off ()
+  in
+  let _, net1 = mk_net ~faults () in
+  let _, net2 = mk_net () in
+  Alcotest.(check int) "pre-crash send is undisturbed"
+    (Desim.Time.to_ns (Fabric.Network.transfer net2 ~now:t0 ~src:0 ~dst:1
+                         ~bytes:1000))
+    (Desim.Time.to_ns (Fabric.Scl.reliable_transfer net1 ~now:t0 ~src:0
+                         ~dst:1 ~bytes:1000))
+
 let tests =
   [ Alcotest.test_case "level_of_string" `Quick test_level_of_string;
     Alcotest.test_case "off is inert" `Quick test_off_is_inert;
@@ -160,6 +261,16 @@ let tests =
     Alcotest.test_case "reliable_transfer retries through drops" `Quick
       test_reliable_transfer_retries_through_drops;
     Alcotest.test_case "retry timeout backoff" `Quick
-      test_retry_timeout_backoff ]
+      test_retry_timeout_backoff;
+    Alcotest.test_case "backoff cap boundary" `Quick
+      test_backoff_cap_boundary;
+    Alcotest.test_case "crash deadness is time-based" `Quick
+      test_crash_deadness_is_time_based;
+    Alcotest.test_case "dead dst escalates after budget" `Quick
+      test_dead_dst_escalates_after_budget;
+    Alcotest.test_case "dead src sends nothing" `Quick
+      test_dead_src_sends_nothing;
+    Alcotest.test_case "delivery before crash instant" `Quick
+      test_delivery_before_crash_instant ]
 
 let () = Alcotest.run "fabric.faults" [ ("faults", tests) ]

@@ -112,6 +112,75 @@ let test_lock_release_not_holder () =
        Samhita.Manager.lock_release m ~now:t0 ~lock:l ~thread:9 ~log:[]
          ~line_versions:[])
 
+let test_lock_release_error_mutates_nothing () =
+  (* An erroneous release (wrong thread) must leave the lock state
+     untouched: same holder, same version, and the waiter queue intact —
+     the queued waiter is still handed the lock by the legitimate
+     release afterwards. *)
+  let e, net, m = mk () in
+  let l = Samhita.Manager.lock_create m in
+  (match
+     Samhita.Manager.lock_acquire m ~now:t0 ~lock:l ~thread:1 ~last_seen:0
+       ~endpoint:(ep net 2) ~wake:(fun _ -> ())
+   with
+   | `Granted _ -> ()
+   | `Queued -> Alcotest.fail "free lock");
+  Samhita.Manager.lock_release m ~now:t0 ~lock:l ~thread:1
+    ~log:[ Samhita.Update.of_i64 ~addr:0 1L ]
+    ~line_versions:[ (0, 1) ];
+  (match
+     Samhita.Manager.lock_acquire m ~now:t0 ~lock:l ~thread:1 ~last_seen:1
+       ~endpoint:(ep net 2) ~wake:(fun _ -> ())
+   with
+   | `Granted _ -> ()
+   | `Queued -> Alcotest.fail "free lock");
+  let woken = ref None in
+  (match
+     Samhita.Manager.lock_acquire m ~now:t0 ~lock:l ~thread:2 ~last_seen:0
+       ~endpoint:(ep net 3) ~wake:(fun g -> woken := Some g)
+   with
+   | `Queued -> ()
+   | `Granted _ -> Alcotest.fail "expected queue");
+  let version_before = Samhita.Manager.lock_version m l in
+  Alcotest.check_raises "wrong thread rejected"
+    (Invalid_argument "Manager.lock_release: thread does not hold the lock")
+    (fun () ->
+       Samhita.Manager.lock_release m ~now:t0 ~lock:l ~thread:2
+         ~log:[ Samhita.Update.of_i64 ~addr:8 9L ]
+         ~line_versions:[ (0, 9) ]);
+  Alcotest.(check (option int)) "holder unchanged" (Some 1)
+    (Samhita.Manager.lock_holder m l);
+  Alcotest.(check int) "version unchanged" version_before
+    (Samhita.Manager.lock_version m l);
+  Alcotest.(check bool) "waiter not woken by the error" true (!woken = None);
+  (* The legitimate release still finds the waiter queued. *)
+  Samhita.Manager.lock_release m ~now:t0 ~lock:l ~thread:1
+    ~log:[ Samhita.Update.of_i64 ~addr:8 2L ]
+    ~line_versions:[ (0, 2) ];
+  Alcotest.(check (option int)) "handed off to the intact waiter" (Some 2)
+    (Samhita.Manager.lock_holder m l);
+  Desim.Engine.run e;
+  (match !woken with
+   | Some g ->
+     Alcotest.(check int) "waiter sees the post-release version" 2
+       g.Samhita.Manager.lock_version
+   | None -> Alcotest.fail "waiter never woken")
+
+let test_lock_release_free_lock () =
+  (* Releasing a never-acquired lock is the same misuse: raises, and the
+     lock stays free at version 0. *)
+  let _, _, m = mk () in
+  let l = Samhita.Manager.lock_create m in
+  Alcotest.check_raises "free lock rejected"
+    (Invalid_argument "Manager.lock_release: thread does not hold the lock")
+    (fun () ->
+       Samhita.Manager.lock_release m ~now:t0 ~lock:l ~thread:1
+         ~log:[ Samhita.Update.of_i64 ~addr:0 1L ]
+         ~line_versions:[ (0, 1) ]);
+  Alcotest.(check (option int)) "still free" None
+    (Samhita.Manager.lock_holder m l);
+  Alcotest.(check int) "version still 0" 0 (Samhita.Manager.lock_version m l)
+
 let test_lock_patch_aggregates_history () =
   let _, net, m = mk () in
   let l = Samhita.Manager.lock_create m in
@@ -294,6 +363,10 @@ let tests =
     Alcotest.test_case "lock grant when free" `Quick test_lock_grant_free;
     Alcotest.test_case "lock queue + handoff" `Quick
       test_lock_queue_and_handoff;
+    Alcotest.test_case "release error mutates nothing" `Quick
+      test_lock_release_error_mutates_nothing;
+    Alcotest.test_case "release of a free lock" `Quick
+      test_lock_release_free_lock;
     Alcotest.test_case "release by non-holder" `Quick
       test_lock_release_not_holder;
     Alcotest.test_case "patch aggregates history" `Quick

@@ -124,9 +124,9 @@ let test_kernel_of_string () =
 
 let test_run_one_deterministic () =
   let o1 = Torture.Runner.run_one ~kernel:Torture.Runner.Micro
-      ~level:Fabric.Faults.High ~seed:5
+      ~level:Fabric.Faults.High ~seed:5 ()
   and o2 = Torture.Runner.run_one ~kernel:Torture.Runner.Micro
-      ~level:Fabric.Faults.High ~seed:5 in
+      ~level:Fabric.Faults.High ~seed:5 () in
   Alcotest.(check int) "same digest" o1.Torture.Runner.o_digest
     o2.Torture.Runner.o_digest;
   Alcotest.(check int) "same event count" o1.Torture.Runner.o_events
@@ -137,7 +137,7 @@ let test_run_one_deterministic () =
     (o1.Torture.Runner.o_reads_checked > 0);
   Alcotest.(check bool) "clean" true (o1.Torture.Runner.o_violations = []);
   let o3 = Torture.Runner.run_one ~kernel:Torture.Runner.Micro
-      ~level:Fabric.Faults.High ~seed:6 in
+      ~level:Fabric.Faults.High ~seed:6 () in
   Alcotest.(check bool) "different seed, different stream" true
     (o3.Torture.Runner.o_digest <> o1.Torture.Runner.o_digest)
 
@@ -153,6 +153,20 @@ let test_runner_summary_smoke () =
     (List.map
        (fun (o : Torture.Runner.outcome) -> string_of_int o.o_seed)
        s.Torture.Runner.s_failures)
+
+let test_crash_mode_smoke () =
+  (* Crash mode: every seed gets a replicated geometry and one fail-stop
+     server crash; runs must stay clean (no deadlock, no oracle
+     violation) and recoveries must actually happen. *)
+  let s = Torture.Runner.run ~crash:true ~kernel:Torture.Runner.Micro
+      ~level:Fabric.Faults.High ~seeds:3 ~base_seed:1 () in
+  Alcotest.(check int) "all seeds ran" 3 s.Torture.Runner.s_runs;
+  Alcotest.(check (list string)) "no failing seeds" []
+    (List.map
+       (fun (o : Torture.Runner.outcome) -> string_of_int o.o_seed)
+       s.Torture.Runner.s_failures);
+  Alcotest.(check bool) "promotions happened" true
+    (s.Torture.Runner.s_promotions > 0)
 
 (* ---------------- Racy kernel under torture (satellite) ------------ *)
 
@@ -212,6 +226,7 @@ let tests =
     Alcotest.test_case "run_one deterministic" `Quick
       test_run_one_deterministic;
     Alcotest.test_case "runner summary" `Quick test_runner_summary_smoke;
+    Alcotest.test_case "crash mode smoke" `Quick test_crash_mode_smoke;
     Alcotest.test_case "racy: one defect per class, 50 seeds" `Slow
       test_racy_one_defect_per_class_50_seeds ]
 
