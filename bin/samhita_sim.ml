@@ -418,14 +418,177 @@ let torture_cmd =
 let race_cmd =
   let run () =
     let sys = Workload.Racy.run () in
-    print_sanitizer sys
+    print_sanitizer sys;
+    (* Defect-detection commands share one exit-code contract: 1 when the
+       tool found what it hunts for, 2 on usage errors, 0 clean. *)
+    match Samhita.System.sanitizer sys with
+    | Some s when Analysis.Regcsan.findings_count s > 0 -> exit 1
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "race"
        ~doc:
          "Run the deliberately racy two-thread kernel under RegCSan; it \
-          must report exactly one finding per seeded defect class")
+          must report exactly one finding per seeded defect class and \
+          exit 1")
     Term.(const run $ const ())
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let kernel_t =
+    (* Parsed by hand in [run] so an unknown kernel exits 2 (the usage
+       exit of the shared contract) rather than cmdliner's 124. *)
+    Arg.(
+      value
+      & opt string (Check.Kernels.name Check.Kernels.Racy)
+      & info [ "kernel" ] ~docv:"K"
+          ~doc:
+            "Bounded kernel to exhaust: $(b,racy) (seeded race), \
+             $(b,micro) (clean global-sum), $(b,abba) \
+             (schedule-dependent lock-order deadlock).")
+  in
+  let threads_t =
+    Arg.(
+      value & opt int 2
+      & info [ "t"; "threads" ] ~docv:"N"
+          ~doc:"Compute threads (small scope: 2 or 3).")
+  in
+  let pages_t =
+    Arg.(
+      value & opt int 1
+      & info [ "pages" ] ~docv:"N" ~doc:"Data pages (small scope: 1 or 2).")
+  in
+  let crash_t =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Explore with a replicated geometry and one injected \
+             fail-stop memory-server crash.")
+  in
+  let max_t =
+    Arg.(
+      value & opt int 10_000
+      & info [ "max-schedules" ] ~docv:"N"
+          ~doc:"Exploration budget (runs + prunes) before truncating.")
+  in
+  let naive_t =
+    Arg.(
+      value & flag
+      & info [ "naive" ]
+          ~doc:
+            "Disable partial-order reduction and enumerate the full \
+             choice tree.")
+  in
+  let quantum_t =
+    Arg.(
+      value
+      & opt int Check.Checker.default_opts.Check.Checker.quantum
+      & info [ "quantum" ] ~docv:"NS"
+          ~doc:
+            "Scheduling quantum: future event instants round up to this \
+             grid (ns) so contended operations staggered only by port \
+             serialization become explicit same-instant choices.")
+  in
+  let compare_t =
+    Arg.(
+      value & flag
+      & info [ "compare" ]
+          ~doc:
+            "Run naive enumeration and DPOR back to back and print the \
+             schedule-count reduction factor.")
+  in
+  let replay_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Re-execute one counterexample schedule (dot-separated \
+             choices as printed by an exploration) instead of exploring.")
+  in
+  let run kernel threads pages crash max_schedules naive quantum compare
+      replay =
+    let kernel =
+      match Check.Kernels.of_name kernel with
+      | Ok k -> k
+      | Error e ->
+        Printf.eprintf "samhita_sim check: %s\n" e;
+        exit 2
+    in
+    if threads < 2 || threads > 3 then begin
+      Printf.eprintf "samhita_sim check: --threads must be 2 or 3\n";
+      exit 2
+    end;
+    if pages < 1 || pages > 2 then begin
+      Printf.eprintf "samhita_sim check: --pages must be 1 or 2\n";
+      exit 2
+    end;
+    if quantum < 0 then begin
+      Printf.eprintf "samhita_sim check: --quantum must be >= 0\n";
+      exit 2
+    end;
+    let opts =
+      { Check.Checker.kernel;
+        threads;
+        pages;
+        crash;
+        dpor = not naive;
+        max_schedules;
+        quantum }
+    in
+    match replay with
+    | Some sched_str -> begin
+        match Check.Schedule.of_string sched_str with
+        | Error e ->
+          Printf.eprintf "samhita_sim check: %s\n" e;
+          exit 2
+        | Ok sched -> begin
+            match Check.Checker.replay opts sched with
+            | rp ->
+              Format.printf "%a@." Check.Checker.pp_replay rp;
+              if rp.Check.Checker.rp_defects <> [] then exit 1
+            | exception Check.Checker.Bad_schedule msg ->
+              Printf.eprintf "samhita_sim check: %s\n" msg;
+              exit 2
+          end
+      end
+    | None ->
+      if compare then begin
+        let naive_r =
+          Check.Checker.explore { opts with Check.Checker.dpor = false }
+        in
+        let dpor_r =
+          Check.Checker.explore { opts with Check.Checker.dpor = true }
+        in
+        Format.printf "%a@.%a@." Check.Checker.pp_result naive_r
+          Check.Checker.pp_result dpor_r;
+        let nn = naive_r.Check.Checker.r_schedules
+        and nd = dpor_r.Check.Checker.r_schedules in
+        Format.printf "reduction: naive %d vs dpor %d schedules (%.2fx)@."
+          nn nd
+          (if nd > 0 then float_of_int nn /. float_of_int nd else nan);
+        if dpor_r.Check.Checker.r_defects <> [] then exit 1
+      end
+      else begin
+        let r = Check.Checker.explore opts in
+        Format.printf "%a@." Check.Checker.pp_result r;
+        if r.Check.Checker.r_defects <> [] then exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "RegCCheck: exhaustively model-check a bounded kernel over every \
+          same-instant scheduling choice (with dynamic partial-order \
+          reduction), checking RegCSan findings, torture-oracle \
+          invariants, kernel checksums and deadlock at every terminal \
+          state; exits 1 with a replayable counterexample schedule when a \
+          defect is found")
+    Term.(
+      const run $ kernel_t $ threads_t $ pages_t $ crash_t $ max_t $ naive_t
+      $ quantum_t $ compare_t $ replay_t)
 
 let () =
   let doc = "Samhita virtual-shared-memory reproduction driver" in
@@ -434,4 +597,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; fig_cmd; micro_cmd; jacobi_cmd; md_cmd; race_cmd;
-            torture_cmd ]))
+            torture_cmd; check_cmd ]))

@@ -3,7 +3,7 @@
    conflicts are resolved per word so that RegC's multiple-writer protocol
    (false sharing within a page is fine by design) is not misreported. *)
 
-type kind = Race | Unpublished | Mixed | Invalid_read | Lock_misuse
+type kind = Race | Unpublished | Mixed | Invalid_read | Lock_misuse | Lock_order
 
 let kind_name = function
   | Race -> "race"
@@ -11,6 +11,7 @@ let kind_name = function
   | Mixed -> "mixed"
   | Invalid_read -> "invalid-read"
   | Lock_misuse -> "lock-misuse"
+  | Lock_order -> "lock-order"
 
 let kind_rank = function
   | Race -> 0
@@ -18,6 +19,7 @@ let kind_rank = function
   | Mixed -> 2
   | Invalid_read -> 3
   | Lock_misuse -> 4
+  | Lock_order -> 5
 
 type finding = {
   kind : kind;
@@ -75,6 +77,12 @@ type t = {
   barriers : (int * int, bstate) Hashtbl.t;  (* (barrier, epoch) *)
   conds : (int, Vclock.t) Hashtbl.t;  (* cond -> signal clock *)
   seen : (int * int * int * int, unit) Hashtbl.t;  (* dedup keys *)
+  (* Lock-order graph: (outer, inner) -> (thread, time) of the first
+     acquisition of [inner] while holding [outer]. An edge in both
+     directions is an ABBA-inconsistent pair: two threads following the
+     two orders concurrently can deadlock even if this run did not. *)
+  lock_order : (int * int, int * Desim.Time.t) Hashtbl.t;
+  mutable n_lock_order : int;
   mutable findings_rev : finding list;
   mutable n_findings : int;
   mutable n_accesses : int;
@@ -105,6 +113,8 @@ let create ~threads ~page_bytes =
     barriers = Hashtbl.create 64;
     conds = Hashtbl.create 8;
     seen = Hashtbl.create 64;
+    lock_order = Hashtbl.create 16;
+    n_lock_order = 0;
     findings_rev = [];
     n_findings = 0;
     n_accesses = 0 }
@@ -382,7 +392,7 @@ let on_lock_attempt t ~thread ~time ~lock =
            "t%d acquires lock %d while already holding it (self-deadlock)"
            thread lock)
 
-let on_lock_acquired t ~thread ~lock =
+let on_lock_acquired t ~thread ~time ~lock =
   let st = ts t thread in
   let rel = lock_clock t lock in
   Vclock.join st.vc rel;
@@ -391,6 +401,33 @@ let on_lock_acquired t ~thread ~lock =
   (match Hashtbl.find_opt st.lock_seen lock with
    | Some v -> Vclock.join v rel
    | None -> Hashtbl.replace st.lock_seen lock (Vclock.copy rel));
+  (* Lock-order bookkeeping: acquiring [lock] while holding [outer] adds
+     the edge (outer, lock). If the reverse edge already exists the
+     program uses the two locks in both nesting orders — an ABBA pair
+     that can deadlock under a schedule this run did not take. *)
+  List.iter
+    (fun outer ->
+       if outer <> lock && not (Hashtbl.mem t.lock_order (outer, lock))
+       then begin
+         Hashtbl.replace t.lock_order (outer, lock) (thread, time);
+         match Hashtbl.find_opt t.lock_order (lock, outer) with
+         | None -> ()
+         | Some (tid0, time0) ->
+           t.n_lock_order <- t.n_lock_order + 1;
+           let la = min outer lock and lb = max outer lock in
+           report t ~kind:Lock_order
+             ~page:(-1 - ((la lsl 16) lor lb))
+             ~addr:(-1) ~tid_first:tid0 ~tid_second:thread ~time_first:time0
+             ~time_second:time
+             ~detail:
+               (Printf.sprintf
+                  "inconsistent lock order: t%d acquires lock %d while \
+                   holding lock %d, but t%d acquired lock %d while holding \
+                   lock %d (ABBA pair; deadlock possible even though none \
+                   manifested)"
+                  thread lock outer tid0 outer lock)
+       end)
+    st.held;
   st.held <- lock :: st.held
 
 let on_unlock t ~thread ~time ~lock =
@@ -462,9 +499,11 @@ let findings t = List.rev t.findings_rev
 let findings_count t = t.n_findings
 let words_shadowed t = Hashtbl.length t.shadow
 let accesses_checked t = t.n_accesses
+let lock_order_warnings t = t.n_lock_order
+let thread_clock t ~thread = Vclock.copy (ts t thread).vc
 
 let pp_finding ppf f =
-  if f.kind = Lock_misuse then
+  if f.kind = Lock_misuse || f.kind = Lock_order then
     Format.fprintf ppf "[%s] at %a: %s" (kind_name f.kind) Desim.Time.pp
       f.time_second f.detail
   else
@@ -477,5 +516,7 @@ let pp_report ppf t =
   Format.fprintf ppf "@[<v>regcsan: %d findings (%d accesses checked, %d \
                       words shadowed)"
     t.n_findings t.n_accesses (Hashtbl.length t.shadow);
+  if t.n_lock_order > 0 then
+    Format.fprintf ppf "@,  lock-order warnings: %d" t.n_lock_order;
   List.iter (fun f -> Format.fprintf ppf "@,  %a" pp_finding f) (findings t);
   Format.fprintf ppf "@]"

@@ -28,6 +28,9 @@
       allocated, or was freed.
     - {b Lock_misuse}: acquiring a lock already held by the same thread
       (self-deadlock) or releasing a lock the thread does not hold.
+    - {b Lock_order}: two locks acquired in both nesting orders across the
+      run (an ABBA-inconsistent pair). No deadlock need have manifested —
+      the warning says one is reachable under some schedule.
 
     Findings are deduplicated — first occurrence per
     (page, thread pair, kind) — and reported in detection order, which is
@@ -35,7 +38,7 @@
 
 type t
 
-type kind = Race | Unpublished | Mixed | Invalid_read | Lock_misuse
+type kind = Race | Unpublished | Mixed | Invalid_read | Lock_misuse | Lock_order
 
 type finding = {
   kind : kind;
@@ -72,7 +75,11 @@ val on_free : t -> thread:int -> time:Desim.Time.t -> addr:int -> bytes:int -> u
 val on_lock_attempt : t -> thread:int -> time:Desim.Time.t -> lock:int -> unit
 (** Call before blocking: checks for double-acquire by the same thread. *)
 
-val on_lock_acquired : t -> thread:int -> lock:int -> unit
+val on_lock_acquired : t -> thread:int -> time:Desim.Time.t -> lock:int -> unit
+(** Besides drawing the release→acquire edge, records the thread's lock
+    nesting order and reports a {!Lock_order} finding the first time a
+    pair of locks is seen nested both ways. *)
+
 val on_unlock : t -> thread:int -> time:Desim.Time.t -> lock:int -> unit
 
 val on_barrier_arrive : t -> thread:int -> barrier:int -> epoch:int -> unit
@@ -92,6 +99,14 @@ val findings : t -> finding list
 val findings_count : t -> int
 val words_shadowed : t -> int
 val accesses_checked : t -> int
+
+val lock_order_warnings : t -> int
+(** Number of ABBA-inconsistent lock pairs reported (each counted once). *)
+
+val thread_clock : t -> thread:int -> Vclock.t
+(** Copy of the thread's current vector clock. RegCCheck samples these at
+    scheduling-interval boundaries and uses {!Vclock.hb} as its
+    happens-before independence oracle. *)
 
 val pp_finding : Format.formatter -> finding -> unit
 

@@ -20,6 +20,15 @@ let leq a b =
   let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
   go 0
 
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+let hb a b = leq a b && not (equal a b)
+
 let pp ppf c =
   Format.fprintf ppf "[%s]"
     (String.concat ";" (Array.to_list (Array.map string_of_int c)))

@@ -21,4 +21,13 @@ val leq : t -> t -> bool
 (** Pointwise [<=]: does every event in the first clock happen before the
     second? *)
 
+val equal : t -> t -> bool
+(** Pointwise equality (clocks of different sizes are never equal). *)
+
+val hb : t -> t -> bool
+(** Strict happens-before: [leq a b && not (equal a b)]. Irreflexive by
+    construction; together with {!leq}'s antisymmetry this makes the
+    relation a strict partial order — the independence oracle RegCCheck's
+    partial-order reduction rests on. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(** RegCCheck: stateless small-scope model checking of the simulator.
+
+    The simulator is deterministic except for one degree of freedom: the
+    order in which same-instant events pop from the engine's queue. A
+    controlled scheduler ({!Desim.Engine.set_chooser}) turns each
+    same-instant tie into an explicit choice point; a {e schedule} is the
+    list of choices taken. The checker re-executes a bounded kernel
+    ({!Kernels}) from scratch for every schedule of interest — depth-first
+    over the choice tree — and evaluates every terminal state: RegCSan
+    findings, torture-oracle invariants, a kernel checksum, and deadlock
+    (via {!Deadlock} on stalled branches). Any defect yields a
+    counterexample schedule replayable with {!replay}.
+
+    Exploration is pruned by dynamic partial-order reduction: each
+    interval's {!Footprint} defines dependence, RegCSan's vector clocks
+    excuse conflicts that synchronization already orders, and sleep sets
+    stop sibling branches from re-proving the same commutations. Naive
+    mode ([dpor = false]) enumerates the full tree — useful to measure
+    the reduction factor and to cross-check coverage. *)
+
+exception Bad_schedule of string
+(** A replayed schedule named a choice index out of range — it was
+    recorded against a different kernel, geometry, or build. *)
+
+type opts = {
+  kernel : Kernels.t;
+  threads : int;
+  pages : int;
+  crash : bool;  (** Replicated geometry with one injected server crash. *)
+  dpor : bool;  (** Partial-order reduction (default); naive otherwise. *)
+  max_schedules : int;  (** Exploration budget (runs + prunes). *)
+  quantum : int;
+      (** Scheduling quantum in ns ({!Desim.Engine.set_quantum}): future
+          instants round up to this grid so contended operations staggered
+          only by port serialization become explicit ties. *)
+}
+
+val default_opts : opts
+
+type defect = {
+  d_class : string;  (** e.g. ["race"], ["deadlock"], ["checksum"]. *)
+  d_message : string;
+  d_schedule : Schedule.t;  (** Shortest counterexample seen. *)
+}
+
+type result = {
+  r_opts : opts;
+  r_schedules : int;
+  r_pruned : int;
+  r_truncated : bool;
+  r_max_points : int;
+  r_defect_runs : int;
+  r_defects : defect list;  (** One per class, sorted by class. *)
+}
+
+val explore : opts -> result
+
+type replay = {
+  rp_points : int;
+  rp_defects : (string * string) list;
+  rp_digest : int;  (** Oracle stream digest — replay determinism check. *)
+}
+
+val replay : opts -> Schedule.t -> replay
+(** Re-execute one schedule (the prefix is forced, the suffix takes
+    candidate 0 everywhere). Raises {!Bad_schedule} on a stale schedule. *)
+
+val pp_result : Format.formatter -> result -> unit
+val pp_replay : Format.formatter -> replay -> unit

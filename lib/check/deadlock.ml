@@ -1,0 +1,96 @@
+type edge = { waiter : int; holder : int; lock : Samhita.Manager.lock_id }
+
+type t = {
+  edges : edge list;
+  cycle : edge list option;
+  barriers : (Samhita.Manager.barrier_id * int list * int) list;
+  conds : (Samhita.Manager.cond_id * int list) list;
+}
+
+(* Lock wait-for edges: thread [w] queued on lock [l] waits for the
+   current holder. Lease waiters and cond/barrier parking produce no lock
+   edge — they are reported separately so a stall with no lock cycle still
+   explains itself. *)
+let edges_of mgr =
+  List.concat_map
+    (fun lock ->
+       match Samhita.Manager.lock_holder mgr lock with
+       | None -> []
+       | Some holder ->
+         List.map
+           (fun waiter -> { waiter; holder; lock })
+           (Samhita.Manager.lock_waiters mgr lock))
+    (Samhita.Manager.lock_ids mgr)
+
+(* Find a cycle in the waiter -> holder graph. DFS with a path stack; the
+   graph is tiny (<= threads nodes), so no need for anything clever.
+   Returns the cycle's edges in traversal order. *)
+let find_cycle edges =
+  let succ v = List.filter (fun e -> e.waiter = v) edges in
+  let rec dfs path v =
+    match List.find_opt (fun e -> e.waiter = v) path with
+    | Some _ ->
+      (* [v] already on the path: the cycle is the suffix from its first
+         occurrence. [path] is newest-first. *)
+      let rec take acc = function
+        | [] -> acc
+        | e :: rest ->
+          if e.waiter = v then e :: acc else take (e :: acc) rest
+      in
+      Some (take [] path)
+    | None ->
+      List.find_map (fun e -> dfs (e :: path) e.holder) (succ v)
+  in
+  List.find_map (fun e -> dfs [] e.waiter) edges
+
+let analyze sys =
+  let mgr = Samhita.System.manager sys in
+  let edges = edges_of mgr in
+  let barriers =
+    List.filter_map
+      (fun b ->
+         match Samhita.Manager.barrier_blocked mgr b with
+         | [] -> None
+         | blocked -> Some (b, blocked, Samhita.Manager.barrier_parties mgr b))
+      (Samhita.Manager.barrier_ids mgr)
+  in
+  let conds =
+    List.filter_map
+      (fun c ->
+         match Samhita.Manager.cond_blocked mgr c with
+         | [] -> None
+         | blocked -> Some (c, blocked))
+      (Samhita.Manager.cond_ids mgr)
+  in
+  { edges; cycle = find_cycle edges; barriers; conds }
+
+let pp_cycle ppf cycle =
+  List.iter
+    (fun e ->
+       Format.fprintf ppf "t%d --lock %d--> t%d " e.waiter e.lock e.holder)
+    cycle;
+  match cycle with
+  | [] -> ()
+  | first :: _ -> Format.fprintf ppf "(back to t%d)" first.waiter
+
+let pp ppf t =
+  (match t.cycle with
+   | Some cycle -> Format.fprintf ppf "@[wait-for cycle: %a@]" pp_cycle cycle
+   | None ->
+     Format.fprintf ppf "no lock cycle";
+     List.iter
+       (fun e ->
+          Format.fprintf ppf "@,  t%d waits on lock %d held by t%d" e.waiter
+            e.lock e.holder)
+       t.edges);
+  List.iter
+    (fun (b, blocked, parties) ->
+       Format.fprintf ppf "@,  barrier %d: %d/%d arrived (%s parked)" b
+         (List.length blocked) parties
+         (String.concat "," (List.map (Printf.sprintf "t%d") blocked)))
+    t.barriers;
+  List.iter
+    (fun (c, blocked) ->
+       Format.fprintf ppf "@,  cond %d: %s parked" c
+         (String.concat "," (List.map (Printf.sprintf "t%d") blocked)))
+    t.conds

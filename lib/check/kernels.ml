@@ -1,0 +1,173 @@
+type t = Racy | Micro | Abba
+
+let name = function Racy -> "racy" | Micro -> "micro" | Abba -> "abba"
+let all = [ Racy; Micro; Abba ]
+
+let of_name s =
+  match List.find_opt (fun k -> name k = String.lowercase_ascii s) all with
+  | Some k -> Ok k
+  | None ->
+    Error
+      (Printf.sprintf "unknown kernel %S (expected %s)" s
+         (String.concat ", " (List.map name all)))
+
+open Samhita
+
+(* ------------------------------------------------------------------ *)
+(* racy: every thread stores word 0 with no happens-before edge — the
+   seeded race — then bumps a lock-protected counter. Disjoint per-thread
+   words exercise the multiple-writer path without adding defects. The
+   counter read-back at the end is a checksum: under correct locking it
+   must equal the thread count in every schedule. *)
+
+let build_racy sys ~threads ~pages =
+  let m = System.mutex sys in
+  let b = System.barrier sys ~parties:threads in
+  let nwords = 8 * pages in
+  let base = ref 0 in
+  let counter_out = ref nan in
+  let body me ctx =
+    let open Thread_ctx in
+    if me = 0 then base := malloc ctx ~bytes:((nwords + 1) * 8);
+    barrier_wait ctx b;
+    let base = !base in
+    let counter = base + (nwords * 8) in
+    (* Seeded race: unordered conflicting stores on word 0. *)
+    write_f64 ctx base (float_of_int (me + 1));
+    (* Disjoint words: legal concurrent writers, no finding. *)
+    if me + 1 < nwords then write_f64 ctx (base + (8 * (me + 1))) 1.0;
+    mutex_lock ctx m;
+    write_f64 ctx counter (read_f64 ctx counter +. 1.0);
+    mutex_unlock ctx m;
+    barrier_wait ctx b;
+    if me = 0 then begin
+      mutex_lock ctx m;
+      counter_out := read_f64 ctx counter;
+      mutex_unlock ctx m
+    end
+  in
+  for me = 0 to threads - 1 do
+    ignore (System.spawn sys (body me) : Thread_ctx.t)
+  done;
+  fun () ->
+    if !counter_out = float_of_int threads then None
+    else
+      Some
+        (Printf.sprintf "racy counter: got %g, want %d" !counter_out threads)
+
+(* ------------------------------------------------------------------ *)
+(* micro: a bounded cut of the paper's micro-benchmark — per-thread rows
+   ([pages] rows of 4 doubles, arena-allocated so there is no false
+   sharing), two outer iterations each ending in a lock-protected
+   global-sum update and a barrier. Properly synchronized: every schedule
+   must be defect-free and produce the same sum. *)
+
+let micro_cols = 4
+let micro_outer = 2
+let micro_decay = 0.5
+
+let micro_expected ~threads ~pages =
+  let a = Array.make (pages * micro_cols) 1.0 in
+  let g = ref 0.0 in
+  for _i = 1 to micro_outer do
+    let sum = ref 0.0 in
+    Array.iteri
+      (fun idx v ->
+         a.(idx) <- micro_decay *. v;
+         sum := !sum +. a.(idx))
+      a;
+    for _t = 1 to threads do
+      g := !g +. !sum
+    done
+  done;
+  !g
+
+let build_micro sys ~threads ~pages =
+  let m = System.mutex sys in
+  let b = System.barrier sys ~parties:threads in
+  let gsum_addr = ref 0 in
+  let gsum_out = ref nan in
+  let row_bytes = micro_cols * 8 in
+  let body me ctx =
+    let open Thread_ctx in
+    if me = 0 then begin
+      gsum_addr := malloc ctx ~bytes:8;
+      write_f64 ctx !gsum_addr 0.0
+    end;
+    barrier_wait ctx b;
+    let mine = malloc ctx ~bytes:(pages * row_bytes) in
+    for w = 0 to (pages * micro_cols) - 1 do
+      write_f64 ctx (mine + (w * 8)) 1.0
+    done;
+    barrier_wait ctx b;
+    for _i = 1 to micro_outer do
+      let sum = ref 0.0 in
+      for w = 0 to (pages * micro_cols) - 1 do
+        let addr = mine + (w * 8) in
+        let v = micro_decay *. read_f64 ctx addr in
+        write_f64 ctx addr v;
+        sum := !sum +. v
+      done;
+      mutex_lock ctx m;
+      write_f64 ctx !gsum_addr (read_f64 ctx !gsum_addr +. !sum);
+      mutex_unlock ctx m;
+      barrier_wait ctx b
+    done;
+    if me = 0 then begin
+      mutex_lock ctx m;
+      gsum_out := read_f64 ctx !gsum_addr;
+      mutex_unlock ctx m
+    end
+  in
+  for me = 0 to threads - 1 do
+    ignore (System.spawn sys (body me) : Thread_ctx.t)
+  done;
+  fun () ->
+    let want = micro_expected ~threads ~pages in
+    if Float.abs (!gsum_out -. want) <= 1e-9 then None
+    else Some (Printf.sprintf "micro gsum: got %.17g, want %.17g" !gsum_out want)
+
+(* ------------------------------------------------------------------ *)
+(* abba: a schedule-dependent deadlock. Phase 1 races (under lock 0) for
+   a flag: thread 0 sets it, the others read whatever the grant chain has
+   published by then — so the value each reader sees is decided by the
+   lock-acquisition order, a scheduling choice. Phase 2: thread 0 and
+   every thread that read the flag take the ring order (L_me then
+   L_{me+1}), the rest take ascending order. All-ring is a cycle —
+   schedules where thread 0 won phase 1 deadlock, schedules where it lost
+   complete. The checker must find both kinds. *)
+
+let build_abba sys ~threads ~pages:_ =
+  let locks = Array.init threads (fun _ -> System.mutex sys) in
+  let b = System.barrier sys ~parties:threads in
+  let base = ref 0 in
+  let body me ctx =
+    let open Thread_ctx in
+    if me = 0 then base := malloc ctx ~bytes:8;
+    barrier_wait ctx b;
+    let flag = !base in
+    let saw = ref 0L in
+    mutex_lock ctx locks.(0);
+    if me = 0 then write_i64 ctx flag 1L else saw := read_i64 ctx flag;
+    mutex_unlock ctx locks.(0);
+    barrier_wait ctx b;
+    let ring = me = 0 || !saw = 1L in
+    let i = me and j = (me + 1) mod threads in
+    let first, second =
+      if ring then (i, j) else (min i j, max i j)
+    in
+    mutex_lock ctx locks.(first);
+    mutex_lock ctx locks.(second);
+    mutex_unlock ctx locks.(second);
+    mutex_unlock ctx locks.(first)
+  in
+  for me = 0 to threads - 1 do
+    ignore (System.spawn sys (body me) : Thread_ctx.t)
+  done;
+  fun () -> None
+
+let build kernel sys ~threads ~pages =
+  match kernel with
+  | Racy -> build_racy sys ~threads ~pages
+  | Micro -> build_micro sys ~threads ~pages
+  | Abba -> build_abba sys ~threads ~pages

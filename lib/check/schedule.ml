@@ -1,0 +1,20 @@
+type t = int list
+
+let to_string = function
+  | [] -> "-"
+  | s -> String.concat "." (List.map string_of_int s)
+
+let of_string str =
+  let str = String.trim str in
+  if str = "" || str = "-" then Ok []
+  else
+    try
+      let parts = String.split_on_char '.' str in
+      let choices = List.map int_of_string parts in
+      if List.exists (fun c -> c < 0) choices then
+        Error "schedule: choices must be non-negative"
+      else Ok choices
+    with Failure _ ->
+      Error "schedule: expected dot-separated choice indices, e.g. \"0.2.1\""
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

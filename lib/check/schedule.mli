@@ -1,0 +1,16 @@
+(** A schedule: the choice made at each scheduling choice point, in order.
+
+    A choice point is an instant where two or more simulation events are
+    enabled (see {!Desim.Heap.tie_seqs}); the choice is an index into the
+    candidate list sorted by heap sequence number, which is deterministic
+    across re-executions of the same prefix. The empty schedule (every
+    point takes candidate 0) prints as ["-"]. *)
+
+type t = int list
+
+val to_string : t -> string
+(** Dot-separated indices, e.g. ["0.2.1"]; ["-"] for the empty schedule. *)
+
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

@@ -37,6 +37,7 @@ type lock_state = {
 }
 
 type barrier_waiter = {
+  b_thread : int;
   b_endpoint : Fabric.Scl.endpoint;
   b_wake : (int * int) list * int -> unit;
 }
@@ -50,7 +51,11 @@ type barrier_state = {
   epoch_writers : (int, int) Hashtbl.t;
 }
 
-type cond_waiter = { c_endpoint : Fabric.Scl.endpoint; c_wake : unit -> unit }
+type cond_waiter = {
+  c_thread : int;
+  c_endpoint : Fabric.Scl.endpoint;
+  c_wake : unit -> unit;
+}
 
 type cond_state = { cwaiters : cond_waiter Queue.t }
 
@@ -226,6 +231,20 @@ let lock_holder t lock = (lock_state t lock).holder
 let lock_version t lock = (lock_state t lock).version
 
 (* ------------------------------------------------------------------ *)
+(* Blocking-state introspection (model-checker support). RegCCheck's
+   deadlock analysis reads who holds and who queues on every sync object
+   of a stalled branch to build the wait-for graph. Read-only. *)
+
+let sorted_ids tbl =
+  List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])
+
+let lock_ids t = sorted_ids t.locks
+
+let lock_waiters t lock =
+  let st = lock_state t lock in
+  List.rev (Queue.fold (fun acc w -> w.w_thread :: acc) [] st.waiters)
+
+(* ------------------------------------------------------------------ *)
 (* Barriers                                                            *)
 
 let barrier_state t barrier =
@@ -258,7 +277,9 @@ let barrier_arrive t ~now ~barrier ~thread ~lines ~endpoint ~wake =
     lines;
   st.arrived <- st.arrived + 1;
   if st.arrived < st.parties then begin
-    st.bwaiters <- { b_endpoint = endpoint; b_wake = wake } :: st.bwaiters;
+    st.bwaiters <-
+      { b_thread = thread; b_endpoint = endpoint; b_wake = wake }
+      :: st.bwaiters;
     `Wait
   end
   else begin
@@ -286,6 +307,12 @@ let barrier_arrive t ~now ~barrier ~thread ~lines ~endpoint ~wake =
   end
 
 let barrier_epoch t barrier = (barrier_state t barrier).epoch
+let barrier_ids t = sorted_ids t.barriers
+let barrier_parties t barrier = (barrier_state t barrier).parties
+
+let barrier_blocked t barrier =
+  let st = barrier_state t barrier in
+  List.sort Int.compare (List.map (fun w -> w.b_thread) st.bwaiters)
 
 (* ------------------------------------------------------------------ *)
 (* Condition variables                                                 *)
@@ -300,9 +327,10 @@ let cond_create t =
   Hashtbl.replace t.conds id { cwaiters = Queue.create () };
   id
 
-let cond_wait t ~cond ~thread:_ ~endpoint ~wake =
+let cond_wait t ~cond ~thread ~endpoint ~wake =
   let st = cond_state t cond in
-  Queue.push { c_endpoint = endpoint; c_wake = wake } st.cwaiters
+  Queue.push { c_thread = thread; c_endpoint = endpoint; c_wake = wake }
+    st.cwaiters
 
 let wake_one t ~now w =
   let net = Fabric.Scl.network t.endpoint in
@@ -328,6 +356,12 @@ let cond_broadcast t ~now ~cond =
   Queue.iter (fun w -> wake_one t ~now w) st.cwaiters;
   Queue.clear st.cwaiters;
   n
+
+let cond_ids t = sorted_ids t.conds
+
+let cond_blocked t cond =
+  let st = cond_state t cond in
+  List.rev (Queue.fold (fun acc w -> w.c_thread :: acc) [] st.cwaiters)
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery                                                      *)

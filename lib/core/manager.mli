@@ -76,6 +76,29 @@ val lock_release :
 val lock_holder : t -> lock_id -> int option
 val lock_version : t -> lock_id -> int
 
+(** {2 Blocking-state introspection}
+
+    Read-only views of who holds and who queues on each sync object.
+    RegCCheck's deadlock analysis walks these on a stalled branch to build
+    the thread wait-for graph and print the cycle. *)
+
+val lock_ids : t -> lock_id list
+(** All locks ever created, ascending. *)
+
+val lock_waiters : t -> lock_id -> int list
+(** Thread ids queued on the lock, FIFO (next grantee first). *)
+
+val barrier_ids : t -> barrier_id list
+val barrier_parties : t -> barrier_id -> int
+
+val barrier_blocked : t -> barrier_id -> int list
+(** Thread ids parked in the current episode, ascending. *)
+
+val cond_ids : t -> cond_id list
+
+val cond_blocked : t -> cond_id -> int list
+(** Thread ids parked on the condvar, FIFO. *)
+
 (** {2 Barriers} *)
 
 val barrier_create : t -> parties:int -> barrier_id

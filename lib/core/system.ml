@@ -219,5 +219,6 @@ let spawn t body =
   ctx
 
 let threads t = List.rev t.threads_rev
+let finished_threads t = t.finished
 let run t = Desim.Engine.run t.engine
 let elapsed t = Desim.Engine.now t.engine

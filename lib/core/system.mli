@@ -55,6 +55,12 @@ val spawn : t -> (Thread_ctx.t -> unit) -> Thread_ctx.t
 val threads : t -> Thread_ctx.t list
 (** Spawned threads, in id order. *)
 
+val finished_threads : t -> int
+(** Threads whose bodies have returned. RegCCheck compares this against
+    the spawn count to detect a stall when the run is bounded by a time
+    horizon instead of queue drain (crash mode, where the lease monitor
+    keeps the queue non-empty). *)
+
 val run : t -> unit
 (** Drive the simulation to completion. *)
 

@@ -884,6 +884,9 @@ let write_f32 t addr v = write_i32 t addr (Int32.bits_of_float v)
 
 let in_consistency_region t = t.held <> []
 
+(* Innermost-first, matching acquisition nesting. *)
+let held_locks t = List.map fst t.held
+
 (* ------------------------------------------------------------------ *)
 (* Allocation                                                          *)
 
@@ -1140,7 +1143,8 @@ let mutex_lock t lock =
   Hashtbl.replace t.lock_seen lock grant.Manager.lock_version;
   (match t.e.san with
    | None -> ()
-   | Some s -> Analysis.Regcsan.on_lock_acquired s ~thread:t.id ~lock);
+   | Some s ->
+     Analysis.Regcsan.on_lock_acquired s ~thread:t.id ~time:(now t) ~lock);
   probe_sync t (Probe.Lock_acquired lock);
   t.held <- (lock, ref []) :: t.held;
   t.m_locks <- t.m_locks + 1;

@@ -111,6 +111,11 @@ val cond_broadcast : t -> Manager.cond_id -> unit
 
 val in_consistency_region : t -> bool
 
+val held_locks : t -> Manager.lock_id list
+(** Locks the thread currently holds, innermost first. RegCCheck's
+    deadlock detector combines this with {!Manager}'s waiter introspection
+    to build the wait-for graph of a stalled branch. *)
+
 (** {2 Lifecycle and accounting} *)
 
 val finish : t -> unit

@@ -1,3 +1,5 @@
+type chooser = time:int -> seqs:int array -> int
+
 type t = {
   mutable now : Time.t;
   queue : (unit -> unit) Heap.t;
@@ -7,6 +9,15 @@ type t = {
   names : (int, string) Hashtbl.t;
   mutable next_pid : int;
   trace : Trace.t;
+  (* Controlled scheduler (model-checker support): when installed, every
+     pop with two or more same-instant candidates asks the chooser which
+     one runs, instead of letting the [(prio, seq)] tie order decide. *)
+  mutable chooser : chooser option;
+  (* Scheduling quantum in ns (0 = off): event instants round up to the
+     next multiple, so events staggered only by sub-quantum serialization
+     deltas land on the same instant and become explicit ties. Only the
+     model checker sets this; default runs keep exact timing. *)
+  mutable quantum : int;
 }
 
 exception Stalled of string
@@ -24,7 +35,15 @@ let create ?(trace = Trace.null) ?tie_break () =
     live = 0;
     names = Hashtbl.create 16;
     next_pid = 0;
-    trace }
+    trace;
+    chooser = None;
+    quantum = 0 }
+
+let set_chooser t c = t.chooser <- c
+
+let set_quantum t q =
+  if q < 0 then invalid_arg "Engine.set_quantum: negative quantum";
+  t.quantum <- q
 
 let now t = t.now
 let trace t = t.trace
@@ -32,7 +51,16 @@ let trace t = t.trace
 let schedule_at t at thunk =
   if Time.( < ) at t.now then
     invalid_arg "Engine.schedule_at: instant is in the simulated past";
-  Heap.push t.queue ~time:(Time.to_ns at) thunk
+  let time = Time.to_ns at in
+  let time =
+    (* Round future instants up to the quantum grid. The current instant
+       stays exact so yields and same-instant wake chains still run before
+       time advances; rounding up never schedules into the past. *)
+    if t.quantum > 1 && Time.( < ) t.now at && time mod t.quantum <> 0 then
+      ((time / t.quantum) + 1) * t.quantum
+    else time
+  in
+  Heap.push t.queue ~time thunk
 
 let schedule t ?(delay = 0) thunk =
   let delay = if delay < 0 then 0 else delay in
@@ -92,12 +120,28 @@ let blocked_names t =
   |> List.map snd
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some (time, thunk) ->
-    t.now <- Time.of_ns time;
-    thunk ();
-    true
+  match t.chooser with
+  | None -> (
+      match Heap.pop t.queue with
+      | None -> false
+      | Some (time, thunk) ->
+        t.now <- Time.of_ns time;
+        thunk ();
+        true)
+  | Some choose -> (
+      (* Controlled mode: same-instant ties are a scheduling choice point;
+         singletons run directly so the chooser only sees real choices. *)
+      match Heap.tie_seqs t.queue with
+      | [||] -> false
+      | seqs ->
+        let time =
+          match Heap.peek_time t.queue with Some x -> x | None -> assert false
+        in
+        let k = if Array.length seqs = 1 then 0 else choose ~time ~seqs in
+        let time, thunk = Heap.pop_tie t.queue k in
+        t.now <- Time.of_ns time;
+        thunk ();
+        true)
 
 let run t =
   while step t do () done;

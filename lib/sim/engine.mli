@@ -23,6 +23,30 @@ val shuffle_tie_break : seed:int -> Heap.tie_break
     [(seed, time, seq)], so one seed yields one — replayable — permutation
     of every same-instant event group. *)
 
+type chooser = time:int -> seqs:int array -> int
+(** A controlled-scheduler decision: given the sequence numbers of every
+    event enabled at the current instant (see {!Heap.tie_seqs}), return
+    the index of the one to run. Called only when two or more events tie,
+    so each call is a genuine scheduling choice point. *)
+
+val set_chooser : t -> chooser option -> unit
+(** Install ([Some]) or remove ([None]) a controlled scheduler. While one
+    is installed {!step}/{!run} ignore the tie-break priority order and
+    route every same-instant choice through the chooser — RegCCheck uses
+    this to enumerate all schedules of a bounded geometry. The chooser may
+    raise to abandon the run (the exception propagates out of {!run}). *)
+
+val set_quantum : t -> int -> unit
+(** Set the scheduling quantum in ns (0 — the default — disables it).
+    With a quantum [q], every scheduled instant rounds up to the next
+    multiple of [q], so events separated only by sub-quantum serialization
+    deltas (port FCFS staggering, a few tens of ns) land on the same
+    instant and become same-instant ties. RegCCheck sets this so that the
+    orders it explores include the contended ones — who reaches the
+    manager first — rather than only exact-tie accidents. Default runs
+    never set it, keeping exact timing. Raises [Invalid_argument] on a
+    negative quantum. *)
+
 val blocked_names : t -> string list
 (** Names of live (spawned, unfinished) processes, in spawn order. After
     {!run} raised {!Stalled} these are exactly the blocked processes. *)

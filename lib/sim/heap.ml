@@ -142,6 +142,84 @@ let pop t =
 
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
 
+(* ------------------------------------------------------------------ *)
+(* Same-instant tie introspection (model-checker support).
+
+   The controlled scheduler needs to see every entry sharing the minimal
+   time and pop a chosen one, bypassing the [(prio, seq)] order. These
+   scans are O(n) and only run in checking mode, where heaps hold a
+   handful of events. Entries are identified by [seq]: with a fixed
+   execution prefix, re-running assigns identical seqs, so a recorded
+   choice replays exactly. *)
+
+let tie_slots t =
+  (* Heap slots whose time equals the minimum, sorted by seq so candidate
+     indices are stable and independent of the heap's internal shape. *)
+  if t.size = 0 then []
+  else begin
+    let t0 = t.times.(0) in
+    let acc = ref [] in
+    for i = t.size - 1 downto 0 do
+      if t.times.(i) = t0 then acc := i :: !acc
+    done;
+    List.sort (fun a b -> Int.compare t.seqs.(a) t.seqs.(b)) !acc
+  end
+
+let tie_seqs t = Array.of_list (List.map (fun i -> t.seqs.(i)) (tie_slots t))
+
+let swap_slots t i j =
+  let swap (a : int array) =
+    let v = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- v
+  in
+  swap t.times;
+  swap t.prios;
+  swap t.seqs;
+  let p = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- p
+
+let slot_lt t i j =
+  key_lt ~time:t.times.(i) ~prio:t.prios.(i) ~seq:t.seqs.(i) t j
+
+let rec sift_up_at t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if slot_lt t i parent then begin
+      swap_slots t i parent;
+      sift_up_at t parent
+    end
+  end
+
+let rec sift_down_at t i =
+  let l = (2 * i) + 1 in
+  if l < t.size then begin
+    let r = l + 1 in
+    let c = if r < t.size && slot_lt t r l then r else l in
+    if slot_lt t c i then begin
+      swap_slots t i c;
+      sift_down_at t c
+    end
+  end
+
+let pop_tie t k =
+  let slots = tie_slots t in
+  match List.nth_opt slots k with
+  | None -> invalid_arg "Heap.pop_tie: tie index out of range"
+  | Some p ->
+    let time = t.times.(p) and payload = t.payloads.(p) in
+    let n = t.size - 1 in
+    t.size <- n;
+    if p < n then begin
+      move_slot t ~src:n ~dst:p;
+      (* The moved key can violate the heap property in either direction;
+         at most one of the two restorations moves it. *)
+      sift_down_at t p;
+      sift_up_at t p
+    end;
+    (time, payload)
+
 let clear t =
   t.size <- 0;
   (* Drop the payload array so no popped payloads are retained; it is

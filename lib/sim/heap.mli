@@ -45,4 +45,24 @@ val pop : 'a t -> (int * 'a) option
 val peek_time : 'a t -> int option
 (** Time key of the next entry without removing it. *)
 
+(** {2 Same-instant tie introspection (model-checker support)}
+
+    RegCCheck drives the simulator through every same-instant scheduling
+    choice: instead of letting [(prio, seq)] decide among simultaneous
+    events, it inspects the tie group and pops a chosen member. Both
+    operations are O(n) scans and are only used in checking mode, where
+    event queues are small. *)
+
+val tie_seqs : 'a t -> int array
+(** Sequence numbers of every entry sharing the minimal time, in ascending
+    [seq] (i.e. insertion) order — the candidate set of one scheduling
+    choice point. Empty iff the heap is empty. With a deterministic
+    execution prefix, re-running yields the same seqs, so an index into
+    this array identifies the same event across re-executions. *)
+
+val pop_tie : 'a t -> int -> int * 'a
+(** [pop_tie t k] removes and returns the entry at index [k] of
+    {!tie_seqs}' order (the [k]-th oldest entry of the minimal-time tie
+    group). Raises [Invalid_argument] if [k] is out of range. *)
+
 val clear : 'a t -> unit

@@ -10,7 +10,17 @@ let create ?(name = "resource") () =
 
 let name t = t.name
 
+(* Reservation observer (model-checker support): RegCCheck records which
+   resources each scheduling interval queues on, because reservation order
+   among same-instant events decides completion times — a dependency its
+   partial-order reduction must see. One module-level slot, set around a
+   checked run and cleared after; absent, reserve pays one ref read. *)
+let observer : (t -> unit) option ref = ref None
+
+let set_observer f = observer := f
+
 let reserve t ~now ~duration =
+  (match !observer with Some f -> f t | None -> ());
   let duration = if duration < 0 then 0 else duration in
   let start = Time.max now t.free_at in
   let finish = Time.add start duration in

@@ -18,6 +18,17 @@ val reserve : t -> now:Time.t -> duration:Time.span -> Time.t
     monotonically consistent with simulation time (callers reserve at their
     current instant). *)
 
+val set_observer : (t -> unit) option -> unit
+(** Install ([Some]) or clear ([None]) a module-wide reservation observer,
+    called at the start of every {!reserve} with the resource being
+    reserved. RegCCheck uses this to record which facilities a scheduling
+    interval queues on: reservation order among same-instant events decides
+    completion times, so two intervals reserving the same resource are
+    dependent for partial-order reduction. Resources are identified by
+    {!name}, which {!Samhita} assigns uniquely per system and
+    deterministically across re-executions. Set around a checked run and
+    clear afterwards. *)
+
 val free_at : t -> Time.t
 (** Instant at which the resource next becomes idle. *)
 

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Determinism lint: the simulator's reproducibility story (replayable
+# torture seeds, RegCCheck counterexample schedules, byte-identical
+# figures) rests on every source of randomness or wall-clock time going
+# through the seeded splitmix in lib/sim/rng.ml. Reject any other use in
+# library code.
+#
+# Forbidden anywhere under lib/ except lib/sim/rng.ml:
+#   Random.            stdlib PRNG (global, unseeded state)
+#   Unix.gettimeofday  wall-clock time
+#   Unix.time          wall-clock time
+#   Sys.time           processor time
+#   Hashtbl.randomize  per-run hash orders (iteration-order leaks)
+set -u
+
+root="${1:-lib}"
+allow="lib/sim/rng.ml"
+
+pattern='Random\.|Unix\.gettimeofday|Unix\.time|Sys\.time|Hashtbl\.randomize'
+
+hits=$(grep -rn -E "$pattern" "$root" --include='*.ml' --include='*.mli' \
+  | grep -v "^$allow:" || true)
+
+if [ -n "$hits" ]; then
+  echo "lint_determinism: nondeterminism outside $allow:" >&2
+  echo "$hits" >&2
+  echo "route randomness through Sim.Rng (seeded, splittable) instead" >&2
+  exit 1
+fi
+echo "lint_determinism: clean"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Pins the defect-detection exit-code contract shared by race, torture
+# and check: 0 when clean, 1 when the tool found what it hunts for, 2 on
+# usage errors. A drift in any of these breaks scripted CI consumers.
+set -u
+
+bin="$1"
+fails=0
+
+expect() {
+  local want="$1"
+  local desc="$2"
+  shift 2
+  "$bin" "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "exit_codes: $desc: want exit $want, got $got ($bin $*)" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+# race: the seeded kernel always has findings.
+expect 1 "race finds the seeded defects" race
+
+# check: defect kernels exit 1, the clean kernel 0.
+expect 1 "check finds the seeded race" check --kernel racy
+expect 1 "check finds the ABBA deadlock" check --kernel abba
+expect 0 "check exhausts micro clean" check --kernel micro
+
+# check usage errors.
+expect 2 "check rejects unknown kernel" check --kernel bogus
+expect 2 "check rejects out-of-scope threads" check --threads 9
+expect 2 "check rejects out-of-scope pages" check --pages 7
+expect 2 "check rejects malformed schedule" check --replay 1.x.2
+expect 2 "check rejects stale schedule" check --kernel racy --replay 9.9
+
+# check replay: the deadlock counterexample reproduces (1), a clean
+# schedule replays clean (0).
+expect 1 "replayed counterexample reproduces" check --kernel abba --replay 0.0.0.1.0.0.0.0.0
+expect 0 "clean replay is clean" check --kernel micro --replay 0
+
+# torture: a clean sweep exits 0 (tiny sweep to stay fast).
+expect 0 "clean torture sweep" torture --kernel micro --seeds 2 --faults off
+
+if [ "$fails" -ne 0 ]; then
+  echo "exit_codes: $fails contract violation(s)" >&2
+  exit 1
+fi
+echo "exit_codes: contract holds"

@@ -56,11 +56,11 @@ let test_lock_orders_accesses () =
   let s = fresh () in
   R.on_malloc s ~thread:0 ~time:(tm 0) ~addr:0 ~bytes:64;
   R.on_lock_attempt s ~thread:0 ~time:(tm 5) ~lock:1;
-  R.on_lock_acquired s ~thread:0 ~lock:1;
+  R.on_lock_acquired s ~thread:0 ~time:(tm 6) ~lock:1;
   R.on_write s ~thread:0 ~time:(tm 10) ~addr:0 ~len:8 ~lock:1;
   R.on_unlock s ~thread:0 ~time:(tm 15) ~lock:1;
   R.on_lock_attempt s ~thread:1 ~time:(tm 20) ~lock:1;
-  R.on_lock_acquired s ~thread:1 ~lock:1;
+  R.on_lock_acquired s ~thread:1 ~time:(tm 21) ~lock:1;
   R.on_read s ~thread:1 ~time:(tm 25) ~addr:0 ~len:8;
   R.on_unlock s ~thread:1 ~time:(tm 30) ~lock:1;
   Alcotest.(check (list kind)) "lock-ordered region accesses clean" []
@@ -74,9 +74,9 @@ let test_unpublished_ordinary () =
   (* Ordinary write, then hand happens-before to t1 through a lock: HB
      says ordered, but RegC only publishes ordinary data at barriers. *)
   R.on_write s ~thread:0 ~time:(tm 5) ~addr:0 ~len:8 ~lock:(-1);
-  R.on_lock_acquired s ~thread:0 ~lock:1;
+  R.on_lock_acquired s ~thread:0 ~time:(tm 6) ~lock:1;
   R.on_unlock s ~thread:0 ~time:(tm 10) ~lock:1;
-  R.on_lock_acquired s ~thread:1 ~lock:1;
+  R.on_lock_acquired s ~thread:1 ~time:(tm 21) ~lock:1;
   R.on_read s ~thread:1 ~time:(tm 20) ~addr:0 ~len:8;
   Alcotest.(check (list kind)) "unpublished ordinary write" [ R.Unpublished ]
     (kinds s)
@@ -95,7 +95,7 @@ let test_barrier_publishes () =
 let test_region_read_needs_lock_chain () =
   let s = fresh () in
   R.on_malloc s ~thread:0 ~time:(tm 0) ~addr:0 ~bytes:64;
-  R.on_lock_acquired s ~thread:0 ~lock:1;
+  R.on_lock_acquired s ~thread:0 ~time:(tm 6) ~lock:1;
   R.on_write s ~thread:0 ~time:(tm 5) ~addr:0 ~len:8 ~lock:1;
   (* HB through a condvar, not through lock 1: the grant chain that would
      patch the region write into t1's cache never ran. *)
@@ -112,9 +112,9 @@ let test_mixed_writes () =
   R.on_write s ~thread:0 ~time:(tm 5) ~addr:0 ~len:8 ~lock:(-1);
   (* Order t1 after t0 through the same lock it writes under, so the only
      complaint is the mixed region/ordinary discipline. *)
-  R.on_lock_acquired s ~thread:0 ~lock:1;
+  R.on_lock_acquired s ~thread:0 ~time:(tm 6) ~lock:1;
   R.on_unlock s ~thread:0 ~time:(tm 8) ~lock:1;
-  R.on_lock_acquired s ~thread:1 ~lock:1;
+  R.on_lock_acquired s ~thread:1 ~time:(tm 21) ~lock:1;
   R.on_write s ~thread:1 ~time:(tm 10) ~addr:0 ~len:8 ~lock:1;
   Alcotest.(check (list kind)) "mixed region/ordinary writes" [ R.Mixed ]
     (kinds s)
@@ -127,7 +127,7 @@ let test_mixed_ok_after_barrier () =
     [ 0; 1 ];
   List.iter (fun th -> R.on_barrier_depart s ~thread:th ~barrier:9 ~epoch:0)
     [ 0; 1 ];
-  R.on_lock_acquired s ~thread:1 ~lock:1;
+  R.on_lock_acquired s ~thread:1 ~time:(tm 21) ~lock:1;
   R.on_write s ~thread:1 ~time:(tm 20) ~addr:0 ~len:8 ~lock:1;
   Alcotest.(check (list kind))
     "region write over a barrier-published ordinary write is clean" []
@@ -164,7 +164,7 @@ let test_realloc_resets_history () =
 let test_double_lock () =
   let s = fresh () in
   R.on_lock_attempt s ~thread:0 ~time:(tm 5) ~lock:1;
-  R.on_lock_acquired s ~thread:0 ~lock:1;
+  R.on_lock_acquired s ~thread:0 ~time:(tm 6) ~lock:1;
   R.on_lock_attempt s ~thread:0 ~time:(tm 10) ~lock:1;
   Alcotest.(check (list kind)) "double lock" [ R.Lock_misuse ] (kinds s)
 
@@ -173,6 +173,32 @@ let test_unlock_unheld () =
   R.on_unlock s ~thread:0 ~time:(tm 5) ~lock:1;
   Alcotest.(check (list kind)) "unlock of unheld lock" [ R.Lock_misuse ]
     (kinds s)
+
+let nest s ~thread ~t0 ~outer ~inner =
+  R.on_lock_attempt s ~thread ~time:(tm t0) ~lock:outer;
+  R.on_lock_acquired s ~thread ~time:(tm t0) ~lock:outer;
+  R.on_lock_attempt s ~thread ~time:(tm (t0 + 1)) ~lock:inner;
+  R.on_lock_acquired s ~thread ~time:(tm (t0 + 1)) ~lock:inner;
+  R.on_unlock s ~thread ~time:(tm (t0 + 2)) ~lock:inner;
+  R.on_unlock s ~thread ~time:(tm (t0 + 3)) ~lock:outer
+
+let test_abba_lock_order () =
+  let s = fresh () in
+  (* t0 nests 1 then 2; t1 nests 2 then 1. No deadlock in this trace, but
+     the pair is ABBA-inconsistent: warn exactly once. *)
+  nest s ~thread:0 ~t0:10 ~outer:1 ~inner:2;
+  nest s ~thread:1 ~t0:20 ~outer:2 ~inner:1;
+  nest s ~thread:0 ~t0:30 ~outer:1 ~inner:2;
+  Alcotest.(check (list kind)) "ABBA pair warned once" [ R.Lock_order ]
+    (kinds s);
+  Alcotest.(check int) "counter matches" 1 (R.lock_order_warnings s)
+
+let test_consistent_lock_order () =
+  let s = fresh () in
+  nest s ~thread:0 ~t0:10 ~outer:1 ~inner:2;
+  nest s ~thread:1 ~t0:20 ~outer:1 ~inner:2;
+  Alcotest.(check (list kind)) "consistent nesting is clean" [] (kinds s);
+  Alcotest.(check int) "no warnings" 0 (R.lock_order_warnings s)
 
 (* ---------------- deduplication ---------------- *)
 
@@ -278,7 +304,10 @@ let () =
             test_realloc_resets_history ] );
       ( "locks",
         [ Alcotest.test_case "double lock" `Quick test_double_lock;
-          Alcotest.test_case "unlock unheld" `Quick test_unlock_unheld ] );
+          Alcotest.test_case "unlock unheld" `Quick test_unlock_unheld;
+          Alcotest.test_case "ABBA lock order" `Quick test_abba_lock_order;
+          Alcotest.test_case "consistent lock order" `Quick
+            test_consistent_lock_order ] );
       ( "reporting",
         [ Alcotest.test_case "dedup" `Quick test_dedup;
           Alcotest.test_case "word granularity" `Quick test_word_granularity ]

@@ -1,0 +1,96 @@
+(* Property tests for the vector-clock laws RegCCheck's partial-order
+   reduction rests on: [leq] is a partial order (antisymmetric via
+   [equal]), [join] is a least upper bound and monotone, and [hb] is a
+   strict order (irreflexive, transitive). *)
+
+module V = Analysis.Vclock
+
+let nthreads = 4
+
+let of_list l =
+  let v = V.create nthreads in
+  List.iteri (fun i x -> V.set v i x) l;
+  v
+
+(* Generator: a clock over [nthreads] threads with small components. *)
+let gen_clock =
+  QCheck.map of_list
+    QCheck.(list_of_size (QCheck.Gen.return nthreads) (int_bound 8))
+
+let pair_clock = QCheck.pair gen_clock gen_clock
+let triple_clock = QCheck.triple gen_clock gen_clock gen_clock
+
+let prop_leq_refl =
+  QCheck.Test.make ~name:"leq reflexive" ~count:200 gen_clock (fun a ->
+      V.leq a a)
+
+let prop_leq_antisym =
+  QCheck.Test.make ~name:"leq antisymmetric" ~count:500 pair_clock
+    (fun (a, b) -> (not (V.leq a b && V.leq b a)) || V.equal a b)
+
+let prop_leq_trans =
+  QCheck.Test.make ~name:"leq transitive" ~count:500 triple_clock
+    (fun (a, b, c) -> (not (V.leq a b && V.leq b c)) || V.leq a c)
+
+let prop_join_upper_bound =
+  QCheck.Test.make ~name:"join is an upper bound" ~count:500 pair_clock
+    (fun (a, b) ->
+      let j = V.copy a in
+      V.join j b;
+      V.leq a j && V.leq b j)
+
+let prop_join_least =
+  QCheck.Test.make ~name:"join is the least upper bound" ~count:500
+    triple_clock (fun (a, b, c) ->
+      let j = V.copy a in
+      V.join j b;
+      (not (V.leq a c && V.leq b c)) || V.leq j c)
+
+let prop_join_monotone =
+  QCheck.Test.make ~name:"join monotone in either argument" ~count:500
+    triple_clock (fun (a, b, c) ->
+      (not (V.leq a b))
+      ||
+      let ja = V.copy a and jb = V.copy b in
+      V.join ja c;
+      V.join jb c;
+      V.leq ja jb)
+
+let prop_hb_irrefl =
+  QCheck.Test.make ~name:"hb irreflexive" ~count:200 gen_clock (fun a ->
+      not (V.hb a a))
+
+let prop_hb_trans =
+  QCheck.Test.make ~name:"hb transitive" ~count:500 triple_clock
+    (fun (a, b, c) -> (not (V.hb a b && V.hb b c)) || V.hb a c)
+
+let prop_hb_asym =
+  QCheck.Test.make ~name:"hb asymmetric" ~count:500 pair_clock
+    (fun (a, b) -> not (V.hb a b && V.hb b a))
+
+let test_tick_orders () =
+  let a = of_list [ 1; 2; 0; 0 ] in
+  let b = V.copy a in
+  V.tick b 0;
+  Alcotest.(check bool) "a hb a-ticked" true (V.hb a b);
+  Alcotest.(check bool) "ticked not hb original" false (V.hb b a)
+
+let test_sizes_never_compare () =
+  let a = V.create 2 and b = V.create 3 in
+  Alcotest.(check bool) "different sizes never equal" false (V.equal a b)
+
+let () =
+  Alcotest.run "samhita.vclock"
+    [ ( "laws",
+        [ QCheck_alcotest.to_alcotest prop_leq_refl;
+          QCheck_alcotest.to_alcotest prop_leq_antisym;
+          QCheck_alcotest.to_alcotest prop_leq_trans;
+          QCheck_alcotest.to_alcotest prop_join_upper_bound;
+          QCheck_alcotest.to_alcotest prop_join_least;
+          QCheck_alcotest.to_alcotest prop_join_monotone;
+          QCheck_alcotest.to_alcotest prop_hb_irrefl;
+          QCheck_alcotest.to_alcotest prop_hb_trans;
+          QCheck_alcotest.to_alcotest prop_hb_asym;
+          Alcotest.test_case "tick orders" `Quick test_tick_orders;
+          Alcotest.test_case "sizes never compare" `Quick
+            test_sizes_never_compare ] ) ]
