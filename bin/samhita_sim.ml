@@ -7,6 +7,7 @@
      jacobi               run the Jacobi kernel once
      md                   run the molecular-dynamics kernel once
      race                 run the seeded-race kernel under RegCSan
+     serve                KV serving: open-loop load sweep, tail latency
 
    `micro`, `jacobi` and `md` accept --sanitize to attach the RegCSan
    analyzer and print its findings after the run. *)
@@ -293,6 +294,214 @@ let md_cmd =
     (Cmd.info "md" ~doc:"Run the molecular-dynamics kernel once")
     Term.(const run $ backend_t $ threads_t $ n_t $ steps_t $ sanitize_t)
 
+(* ---------------- serve ---------------- *)
+
+(* BENCH.json is written whole by bench/main.exe; the serve block is
+   always its last field, so appending is textual: drop an existing
+   serve block (or just the closing brace) and re-emit. No JSON parser
+   in the repo, and none needed. *)
+let serve_json_marker = "  \"serve\": "
+
+let find_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let trim_end s =
+  let n = ref (String.length s) in
+  while
+    !n > 0
+    && (match s.[!n - 1] with '\n' | '\r' | ' ' | '\t' -> true | _ -> false)
+  do
+    decr n
+  done;
+  String.sub s 0 !n
+
+let append_serve_json sweep =
+  let block = Harness.Serving.to_json sweep in
+  let fresh () = "{\n" ^ serve_json_marker ^ block ^ "\n}\n" in
+  let content =
+    if Sys.file_exists "BENCH.json" then begin
+      let ic = open_in_bin "BENCH.json" in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match find_substring s serve_json_marker with
+      | Some i ->
+        (* Replace the existing block: what precedes it already ends
+           with '{' (serve-only file) or ',' (after bench's fields). *)
+        trim_end (String.sub s 0 i) ^ "\n" ^ serve_json_marker ^ block
+        ^ "\n}\n"
+      | None ->
+        (match String.rindex_opt s '}' with
+         | Some i ->
+           trim_end (String.sub s 0 i) ^ ",\n" ^ serve_json_marker ^ block
+           ^ "\n}\n"
+         | None -> fresh ())
+    end
+    else fresh ()
+  in
+  let oc = open_out_bin "BENCH.json" in
+  output_string oc content;
+  close_out oc;
+  Printf.printf "wrote serve block to BENCH.json\n%!"
+
+let serve_cmd =
+  let keys_t =
+    Arg.(value & opt int 256 & info [ "keys" ] ~docv:"N" ~doc:"Key count.")
+  in
+  let shards_t =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:"Mutex-protected key partitions ($(i,key mod shards)).")
+  in
+  let clients_t =
+    Arg.(
+      value & opt int 16
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Simulated clients (serial request streams).")
+  in
+  let requests_t =
+    Arg.(
+      value & opt int 2048
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per sweep point.")
+  in
+  let zipf_t =
+    Arg.(
+      value & opt float 0.9
+      & info [ "zipf" ] ~docv:"S"
+          ~doc:"Key-popularity skew exponent; 0 is uniform.")
+  in
+  let read_fraction_t =
+    Arg.(
+      value & opt float 0.9
+      & info [ "read-fraction" ] ~docv:"F"
+          ~doc:"Probability a request is a Get.")
+  in
+  let seed_t =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Workload seed.")
+  in
+  let replication_t =
+    Arg.(
+      value & opt int 0
+      & info [ "replication" ] ~docv:"R"
+          ~doc:
+            "Memory-server replication factor, 0 or 1 (smh backend \
+             only; 1 mirrors every write to a backup).")
+  in
+  let crash_t =
+    Arg.(
+      value & flag
+      & info [ "crash" ]
+          ~doc:
+            "Inject a fail-stop memory-server crash mid-point and measure \
+             what the lease-detected promotion costs the tail (requires \
+             --replication 1).")
+  in
+  let load_t =
+    Arg.(
+      value
+      & opt string "0.25,0.5,0.75,0.9,1.5"
+      & info [ "load" ] ~docv:"F1,F2,..."
+          ~doc:
+            "Offered-load sweep, as fractions of the measured closed-loop \
+             capacity; points past 1.0 are overloaded.")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Also write the sweep as the $(b,serve) block of BENCH.json \
+             in the current directory.")
+  in
+  let run backend threads keys shards clients requests zipf read_fraction
+      seed replication crash load json =
+    (* Hand-validated so usage errors exit 2 (the shared contract). *)
+    let usage fmt =
+      Printf.ksprintf
+        (fun m ->
+           Printf.eprintf "samhita_sim serve: %s\n" m;
+           exit 2)
+        fmt
+    in
+    if threads <= 0 || threads > Samhita.Config.max_threads then
+      usage "--threads must be in 1..%d" Samhita.Config.max_threads;
+    if keys <= 0 then usage "--keys must be positive";
+    if shards <= 0 || shards > keys then
+      usage "--shards must be in 1..keys";
+    if clients <= 0 then usage "--clients must be positive";
+    if requests <= 0 then usage "--requests must be positive";
+    if not (Float.is_finite zipf) || zipf < 0. then
+      usage "--zipf must be non-negative";
+    if not (Float.is_finite read_fraction)
+       || read_fraction < 0. || read_fraction > 1.
+    then usage "--read-fraction must be in [0,1]";
+    if replication < 0 || replication > 1 then
+      usage "--replication must be 0 or 1";
+    if backend = `Pth && (replication > 0 || crash) then
+      usage "--replication and --crash require --backend smh";
+    if crash && replication = 0 then
+      usage "--crash requires --replication 1";
+    let fractions =
+      String.split_on_char ',' load
+      |> List.map (fun s ->
+          match float_of_string_opt (String.trim s) with
+          | Some f when Float.is_finite f && f > 0. -> f
+          | _ -> usage "--load: %S is not a positive load fraction" s)
+    in
+    if fractions = [] then usage "--load: empty sweep";
+    let kv =
+      { Workload.Kv.traffic =
+          { Workload.Traffic.clients;
+            requests;
+            rate_rps = 1.;  (* overridden per sweep point *)
+            keys;
+            zipf_s = zipf;
+            read_fraction;
+            seed };
+        shards;
+        service_flops = Workload.Kv.default_params.Workload.Kv.service_flops }
+    in
+    let kind =
+      match backend with
+      | `Smh -> Harness.Serving.Smh
+      | `Pth -> Harness.Serving.Pth
+    in
+    let sweep =
+      Harness.Serving.run ~fractions ~backend:kind ~threads ~replication
+        ~crash kv
+    in
+    Format.printf "%a@?" Harness.Serving.pp sweep;
+    if json then append_serve_json sweep;
+    let lost =
+      List.fold_left
+        (fun a p -> a + p.Harness.Serving.lost_writes)
+        0 sweep.Harness.Serving.points
+    in
+    if lost > 0 then begin
+      Printf.eprintf
+        "samhita_sim serve: %d acked write(s) lost (see the lost column)\n"
+        lost;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Zipfian KV serving scenario: measure closed-loop capacity, then \
+          sweep open-loop offered load at fractions of it, reporting \
+          p50/p99/p999 tail latency per point (exit 1 if any acked write \
+          was lost)")
+    Term.(
+      const run $ backend_t $ threads_t $ keys_t $ shards_t $ clients_t
+      $ requests_t $ zipf_t $ read_fraction_t $ seed_t $ replication_t
+      $ crash_t $ load_t $ json_t)
+
 (* ---------------- torture ---------------- *)
 
 let torture_cmd =
@@ -337,7 +546,8 @@ let torture_cmd =
       & opt (conv (parse, print)) Torture.Runner.Micro
       & info [ "kernel" ] ~docv:"K"
           ~doc:
-            "Workload to torture: $(b,micro), $(b,jacobi) or $(b,racy).")
+            "Workload to torture: $(b,micro), $(b,jacobi), $(b,kv) or \
+             $(b,racy).")
   in
   let replay_t =
     Arg.(
@@ -597,4 +807,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; fig_cmd; micro_cmd; jacobi_cmd; md_cmd; race_cmd;
-            torture_cmd; check_cmd ]))
+            serve_cmd; torture_cmd; check_cmd ]))

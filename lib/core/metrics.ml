@@ -3,6 +3,7 @@ type thread = {
   compute_ns : int;
   sync_ns : int;
   alloc_ns : int;
+  idle_ns : int;
   hits : int;
   misses : int;
   evictions : int;
@@ -17,6 +18,7 @@ let of_ctx ctx =
     compute_ns = Thread_ctx.compute_ns ctx;
     sync_ns = Thread_ctx.sync_ns ctx;
     alloc_ns = Thread_ctx.alloc_ns ctx;
+    idle_ns = Thread_ctx.idle_ns ctx;
     hits = Cache.hits cache;
     misses = Cache.misses cache;
     evictions = Cache.evictions cache;
@@ -130,7 +132,11 @@ let pp_thread ppf t =
     t.thread_id Desim.Time.pp (Desim.Time.of_ns t.compute_ns) Desim.Time.pp
     (Desim.Time.of_ns t.sync_ns) Desim.Time.pp
     (Desim.Time.of_ns t.alloc_ns) t.hits t.misses t.evictions
-    t.invalidations t.lock_acquires t.barrier_waits
+    t.invalidations t.lock_acquires t.barrier_waits;
+  (* Idle time exists only for serving workloads; the kernels' report
+     lines stay byte-identical. *)
+  if t.idle_ns > 0 then
+    Format.fprintf ppf " idle=%a" Desim.Time.pp (Desim.Time.of_ns t.idle_ns)
 
 let pp_aggregate ppf a =
   Format.fprintf ppf

@@ -6,6 +6,9 @@ type thread = {
   compute_ns : int;  (** Compute-loop time including miss stalls. *)
   sync_ns : int;  (** Time in lock/unlock/barrier/condvar operations. *)
   alloc_ns : int;
+  idle_ns : int;
+      (** Time parked in {!Thread_ctx.idle_until} waiting for open-loop
+          traffic arrivals; 0 for the compute kernels. *)
   hits : int;
   misses : int;
   evictions : int;

@@ -41,6 +41,7 @@ type t = {
   mutable m_compute : int;
   mutable m_sync : int;
   mutable m_alloc : int;
+  mutable m_idle : int;
   mutable m_locks : int;
   mutable m_barriers : int;
   mutable m_failovers : int;
@@ -70,6 +71,7 @@ let create e ~id ~node =
       m_compute = 0;
       m_sync = 0;
       m_alloc = 0;
+      m_idle = 0;
       m_locks = 0;
       m_barriers = 0;
       m_failovers = 0 }
@@ -118,6 +120,27 @@ let sync_clock t =
 let charge t ns =
   Float.Array.unsafe_set t.accum 0 (Float.Array.unsafe_get t.accum 0 +. ns)
 let charge_flops t n = charge t (float_of_int n *. t.e.cfg.Config.t_flop)
+
+(* The thread's virtual instant: the global clock plus locally accumulated
+   (not yet synchronized) cost. Open-loop load generators timestamp
+   request starts and completions with this. *)
+let now_ns t =
+  Desim.Time.to_ns (now t)
+  + Desim.Time.span_of_float_ns (Float.Array.unsafe_get t.accum 0)
+
+(* Advance virtual time to at least [target] (ns since simulation start),
+   accounting the gap as idle — neither compute nor sync — so a serving
+   worker waiting for its next arrival does not distort either metric.
+   Past instants are a no-op (the worker is already running behind). *)
+let idle_until t target =
+  if target > now_ns t then begin
+    sync_clock t;
+    let gap = target - Desim.Time.to_ns (now t) in
+    if gap > 0 then begin
+      t.m_idle <- t.m_idle + gap;
+      Desim.Engine.delay gap
+    end
+  end
 
 let server_of t line =
   t.e.servers.(Directory.server_of_line t.e.dir t.e.cfg ~line)
@@ -1311,6 +1334,7 @@ let finish t = sync_clock t
 let compute_ns t = t.m_compute
 let sync_ns t = t.m_sync
 let alloc_ns t = t.m_alloc
+let idle_ns t = t.m_idle
 let lock_acquires t = t.m_locks
 let barrier_waits t = t.m_barriers
 let failover_waits t = t.m_failovers

@@ -86,6 +86,16 @@ val charge : t -> float -> unit
 
 val charge_flops : t -> int -> unit
 
+val now_ns : t -> int
+(** The thread's current virtual instant in nanoseconds: the global clock
+    plus locally accumulated (not yet synchronized) cost. *)
+
+val idle_until : t -> int -> unit
+(** Advance virtual time to at least the given absolute instant (ns),
+    accounting the gap as {e idle} time (neither compute nor sync). A
+    target in the past is a no-op. Open-loop traffic generators use this
+    to wait for the next pre-drawn arrival. *)
+
 (** {2 Allocation} *)
 
 val malloc : t -> bytes:int -> int
@@ -126,6 +136,10 @@ val finish : t -> unit
 val compute_ns : t -> int
 val sync_ns : t -> int
 val alloc_ns : t -> int
+
+val idle_ns : t -> int
+(** Time spent parked in {!idle_until} waiting for traffic. *)
+
 val lock_acquires : t -> int
 val barrier_waits : t -> int
 

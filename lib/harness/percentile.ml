@@ -1,0 +1,99 @@
+(* Octave-bucketed histogram (the HdrHistogram idea, fixed at 32
+   subbuckets per octave). Values in [0, 64) get exact unit buckets;
+   above, each power-of-two octave [2^b, 2^(b+1)) splits into 32 linear
+   subbuckets of width 2^(b-5). A value's bucket lower bound is within
+   a factor (1 + 1/32) of the value, which gives the documented bound:
+   reported quantiles never undershoot and overshoot by at most 1/32
+   relative. Memory is a fixed ~1.9k-entry int array regardless of how
+   many observations stream in. *)
+
+let subbuckets = 32
+let exact_limit = 2 * subbuckets  (* [0, 64): unit-width buckets. *)
+let min_octave = 6  (* First bucketed octave: [64, 128). *)
+let max_octave = 61  (* OCaml int: values up to 2^62 - 1. *)
+let buckets = exact_limit + ((max_octave - min_octave + 1) * subbuckets)
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable vmin : int;
+  mutable vmax : int;
+  mutable sum : float;
+}
+
+let create () =
+  { counts = Array.make buckets 0;
+    n = 0;
+    vmin = max_int;
+    vmax = 0;
+    sum = 0. }
+
+(* floor (log2 v) for v > 0. *)
+let msb v =
+  let r = ref 0 and v = ref v in
+  if !v lsr 32 <> 0 then begin r := !r + 32; v := !v lsr 32 end;
+  if !v lsr 16 <> 0 then begin r := !r + 16; v := !v lsr 16 end;
+  if !v lsr 8 <> 0 then begin r := !r + 8; v := !v lsr 8 end;
+  if !v lsr 4 <> 0 then begin r := !r + 4; v := !v lsr 4 end;
+  if !v lsr 2 <> 0 then begin r := !r + 2; v := !v lsr 2 end;
+  if !v lsr 1 <> 0 then r := !r + 1;
+  !r
+
+let index_of v =
+  if v < exact_limit then v
+  else
+    let b = min (msb v) max_octave in
+    let sub = (v lsr (b - 5)) - subbuckets in
+    exact_limit + ((b - min_octave) * subbuckets) + sub
+
+(* Inclusive upper edge of a bucket: what a quantile query reports. *)
+let value_of_index idx =
+  if idx < exact_limit then idx
+  else
+    let rel = idx - exact_limit in
+    let b = min_octave + (rel / subbuckets) in
+    let sub = rel mod subbuckets in
+    ((subbuckets + sub + 1) lsl (b - 5)) - 1
+
+let add t v =
+  if v < 0 then invalid_arg "Percentile.add: negative value";
+  t.counts.(index_of v) <- t.counts.(index_of v) + 1;
+  t.n <- t.n + 1;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v;
+  t.sum <- t.sum +. float_of_int v
+
+let count t = t.n
+
+let min_value t =
+  if t.n = 0 then invalid_arg "Percentile.min_value: empty";
+  t.vmin
+
+let max_value t =
+  if t.n = 0 then invalid_arg "Percentile.max_value: empty";
+  t.vmax
+
+let mean t =
+  if t.n = 0 then invalid_arg "Percentile.mean: empty";
+  t.sum /. float_of_int t.n
+
+let percentile t q =
+  if t.n = 0 then invalid_arg "Percentile.percentile: empty";
+  if not (Float.is_finite q) || q < 0. || q > 1. then
+    invalid_arg "Percentile.percentile: quantile must be in [0,1]";
+  (* Nearest-rank: the smallest value with at least ceil(q*n) observations
+     at or below it — matching [Array.sort]ed.(ceil(q*n) - 1). *)
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int t.n))) in
+  let cum = ref 0 and idx = ref 0 in
+  (try
+     for i = 0 to buckets - 1 do
+       cum := !cum + t.counts.(i);
+       if !cum >= rank then begin
+         idx := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  (* The true value lies inside the bucket; clamp the reported edge into
+     the observed range so degenerate streams report exactly. *)
+  min t.vmax (max t.vmin (value_of_index !idx))

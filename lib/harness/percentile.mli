@@ -1,0 +1,38 @@
+(** Streaming quantile estimation over non-negative integers (latencies
+    in nanoseconds), HdrHistogram-style.
+
+    Values below 64 are counted exactly; above, each power-of-two octave
+    is split into 32 linear subbuckets, so memory is a fixed small array
+    however many observations stream in, and a reported quantile [est]
+    relates to the exact nearest-rank sorted-array quantile [exact] by
+
+    {v 0 <= est - exact <= exact / 32 v}
+
+    (the estimator reports a bucket's inclusive upper edge, clamped into
+    the observed [\[min, max\]] range — it never undershoots, and
+    overshoots by at most the bucket width, 1/32 relative). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** O(1). Raises [Invalid_argument] on a negative value. *)
+
+val count : t -> int
+
+val percentile : t -> float -> int
+(** [percentile t q] with [q] in [\[0, 1\]]: the estimated nearest-rank
+    quantile ([q = 0.5] → p50, [0.999] → p999). Raises
+    [Invalid_argument] when empty or [q] is out of range. A singleton
+    stream reports its one value for every [q]. *)
+
+val min_value : t -> int
+(** Exact. Raises [Invalid_argument] when empty. *)
+
+val max_value : t -> int
+(** Exact. Raises [Invalid_argument] when empty. *)
+
+val mean : t -> float
+(** Exact (within float summation). Raises [Invalid_argument] when
+    empty. *)

@@ -28,6 +28,7 @@ and thread = {
   accum : floatarray;
   mutable m_compute : int;
   mutable m_sync : int;
+  mutable m_idle : int;
 }
 
 let create ?(config = Config.default) ~threads () =
@@ -63,7 +64,8 @@ let spawn s body =
       sys = s;
       accum = Float.Array.make 1 0.;
       m_compute = 0;
-      m_sync = 0 }
+      m_sync = 0;
+      m_idle = 0 }
   in
   s.next <- s.next + 1;
   s.threads_rev <- t :: s.threads_rev;
@@ -101,6 +103,22 @@ let malloc t ~bytes = Machine.alloc t.sys.machine ~bytes ~align:64
 
 let charge t ns =
   Float.Array.unsafe_set t.accum 0 (Float.Array.unsafe_get t.accum 0 +. ns)
+
+(* Virtual instant and idle wait — see the Samhita Thread_ctx twins; the
+   serving workload timestamps requests with these on both backends. *)
+let now_ns t =
+  Desim.Time.to_ns (now t)
+  + Desim.Time.span_of_float_ns (Float.Array.unsafe_get t.accum 0)
+
+let idle_until t target =
+  if target > now_ns t then begin
+    sync_clock t;
+    let gap = target - Desim.Time.to_ns (now t) in
+    if gap > 0 then begin
+      t.m_idle <- t.m_idle + gap;
+      Desim.Engine.delay gap
+    end
+  end
 
 let read_i64 t addr =
   charge t (Machine.read_cost t.sys.machine ~thread:t.id ~addr);
@@ -187,3 +205,4 @@ let cond_broadcast t c =
 
 let compute_ns t = t.m_compute
 let sync_ns t = t.m_sync
+let idle_ns t = t.m_idle

@@ -44,6 +44,14 @@ val write_i64 : thread -> int -> int64 -> unit
 val charge : thread -> float -> unit
 val charge_flops : thread -> int -> unit
 
+val now_ns : thread -> int
+(** The thread's current virtual instant (global clock plus accumulated
+    local cost), in nanoseconds. *)
+
+val idle_until : thread -> int -> unit
+(** Advance virtual time to at least the given absolute instant,
+    accounting the gap as idle; past instants are a no-op. *)
+
 val lock : thread -> mutex -> unit
 val unlock : thread -> mutex -> unit
 val barrier_wait : thread -> barrier -> unit
@@ -53,3 +61,4 @@ val cond_broadcast : thread -> cond -> unit
 
 val compute_ns : thread -> int
 val sync_ns : thread -> int
+val idle_ns : thread -> int

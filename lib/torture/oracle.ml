@@ -396,3 +396,43 @@ let finalize t sys =
               "barrier %d epoch %d: %d arrivals but %d departures" barrier
               epoch !arrivals !departures))
     t.episodes
+
+(* ------------------------------------------------------------------ *)
+(* KV session guarantees *)
+
+let check_kv_history t (history : Workload.Kv.event array) =
+  (* The KV kernel records events in per-worker processing order, and a
+     client's requests all run on one worker ([client mod threads]), so a
+     linear scan sees every client's operations in program order — which
+     is all the session guarantees quantify over. *)
+  let last_put : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let last_seen : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun (e : Workload.Kv.event) ->
+       let sk = (e.Workload.Kv.e_client, e.Workload.Kv.e_key) in
+       let v = e.Workload.Kv.e_version in
+       match e.Workload.Kv.e_op with
+       | Workload.Traffic.Put ->
+         (* The written version is also an observation of the key's
+            state: later reads must not travel back behind it. *)
+         Hashtbl.replace last_put sk v;
+         Hashtbl.replace last_seen sk v
+       | Workload.Traffic.Get ->
+         (match Hashtbl.find_opt last_put sk with
+          | Some w when v < w ->
+            note_violation t ~v_class:"kv-read-your-writes"
+              (Printf.sprintf
+                 "client %d key %d: read version %d after writing version \
+                  %d (own acked write invisible)"
+                 e.Workload.Kv.e_client e.Workload.Kv.e_key v w)
+          | _ -> ());
+         (match Hashtbl.find_opt last_seen sk with
+          | Some seen when v < seen ->
+            note_violation t ~v_class:"kv-monotonic-reads"
+              (Printf.sprintf
+                 "client %d key %d: read version %d after observing \
+                  version %d (state travelled backwards)"
+                 e.Workload.Kv.e_client e.Workload.Kv.e_key v seen)
+          | _ -> ());
+         Hashtbl.replace last_seen sk v)
+    history

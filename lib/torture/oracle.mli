@@ -49,6 +49,15 @@ val note_violation : t -> v_class:string -> string -> unit
 val finalize : t -> Samhita.System.t -> unit
 (** Run the end-of-run invariant checks against the finished system. *)
 
+val check_kv_history : t -> Workload.Kv.event array -> unit
+(** Check a KV serving history (per-worker processing order, which
+    embeds per-client program order) for the session guarantees the
+    sharded-lock protocol must provide: {e read-your-writes} (a client's
+    Get never returns a version older than its own last acked Put to
+    that key) and {e monotonic reads} (the versions a client observes
+    for a key never decrease). Violations are recorded with classes
+    ["kv-read-your-writes"] and ["kv-monotonic-reads"]. *)
+
 val violations : t -> violation list
 (** All violations, in detection order. *)
 

@@ -1,13 +1,15 @@
-type kernel = Micro | Jacobi | Racy
+type kernel = Micro | Jacobi | Kv | Racy
 
 let kernel_name = function
   | Micro -> "micro"
   | Jacobi -> "jacobi"
+  | Kv -> "kv"
   | Racy -> "racy"
 
 let kernel_of_string = function
   | "micro" -> Ok Micro
   | "jacobi" -> Ok Jacobi
+  | "kv" -> Ok Kv
   | "racy" -> Ok Racy
   | s -> Error (Printf.sprintf "unknown torture kernel %S" s)
 
@@ -36,7 +38,7 @@ let config_for ~kernel ~level ~crash ~seed rng =
         Samhita.Config.seed;
         fault_level = level;
         shuffle = true }
-    | Micro | Jacobi ->
+    | Micro | Jacobi | Kv ->
       let pick l = List.nth l (Desim.Rng.int rng (List.length l)) in
       let page_bytes = pick [ 256; 512 ] in
       let pages_per_line = pick [ 1; 2 ] in
@@ -69,7 +71,7 @@ let config_for ~kernel ~level ~crash ~seed rng =
     let ms =
       match kernel with
       | Racy -> 2
-      | Micro | Jacobi -> 2 + Desim.Rng.int rng 2
+      | Micro | Jacobi | Kv -> 2 + Desim.Rng.int rng 2
     in
     let victim = Desim.Rng.int rng ms in
     let at = 5_000 + Desim.Rng.int rng 500_000 in
@@ -137,6 +139,37 @@ let run_one ?(crash = false) ~kernel ~level ~seed () =
                corrupted update)"
               r.Workload.Microbench.gsum
               r.Workload.Microbench.expected_gsum)
+     | Kv ->
+       let threads = 2 + Desim.Rng.int rng 3 in
+       let shards = 1 + Desim.Rng.int rng 4 in
+       let zipf_s = List.nth [ 0.0; 0.9; 1.4 ] (Desim.Rng.int rng 3) in
+       let rate_rps = float_of_int (200_000 + Desim.Rng.int rng 700_001) in
+       let requests = 48 + Desim.Rng.int rng 33 in
+       let p =
+         { Workload.Kv.traffic =
+             { Workload.Traffic.clients = 6;
+               requests;
+               rate_rps;
+               keys = 24;
+               zipf_s;
+               read_fraction = 0.7;
+               seed };
+           shards;
+           service_flops = 16 }
+       in
+       let backend = Workload.Samhita_backend.make ~on_create ~config () in
+       let r = Workload.Kv.run ~record_history:true backend ~threads p in
+       finished := true;
+       (match Workload.Kv.lost_writes r with
+        | [] -> ()
+        | (k, want, got) :: _ as l ->
+          Oracle.note_violation oracle ~v_class:"checksum"
+            (Printf.sprintf
+               "kv: %d key(s) disagree with the request stream; first: key \
+                %d expected version %d found %d (lost or phantom acked \
+                write)"
+               (List.length l) k want got));
+       Oracle.check_kv_history oracle r.Workload.Kv.history
      | Jacobi ->
        let threads = 2 + Desim.Rng.int rng 3 in
        let n = 8 + (2 * Desim.Rng.int rng 4) in

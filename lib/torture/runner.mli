@@ -8,7 +8,11 @@
     sequential reference. Running a seed twice must produce bit-identical
     event streams; {!run} verifies that for every seed. *)
 
-type kernel = Micro | Jacobi | Racy
+type kernel = Micro | Jacobi | Kv | Racy
+(** [Kv] tortures the serving scenario: seed-derived shard count, key
+    skew and offered rate; checked for exact final versions against the
+    request stream ({!Workload.Kv.lost_writes}) and for per-client
+    session guarantees ({!Oracle.check_kv_history}). *)
 
 val kernel_name : kernel -> string
 val kernel_of_string : string -> (kernel, string) result

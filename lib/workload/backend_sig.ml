@@ -37,6 +37,16 @@ module type S = sig
       the shared-memory system (used when a kernel works on a local copy
       of shared data; the copy itself goes through {!read_f64}). *)
 
+  val now_ns : thread -> int
+  (** The thread's current virtual instant (ns since simulation start):
+      the global clock plus locally accumulated cost. *)
+
+  val idle_until : thread -> int -> unit
+  (** Advance virtual time to at least the given absolute instant,
+      accounting the gap as idle (neither compute nor sync). Past
+      instants are a no-op. The open-loop traffic generator waits for
+      pre-drawn arrivals with this. *)
+
   val lock : thread -> mutex -> unit
   val unlock : thread -> mutex -> unit
   val barrier_wait : thread -> barrier -> unit

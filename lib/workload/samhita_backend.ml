@@ -34,6 +34,8 @@ let make ?(on_create = fun (_ : Samhita.System.t) -> ())
     let charge_mem_ops t n =
       Samhita.Thread_ctx.charge t
         (float_of_int n *. config.Samhita.Config.t_mem)
+    let now_ns = Samhita.Thread_ctx.now_ns
+    let idle_until = Samhita.Thread_ctx.idle_until
     let lock = Samhita.Thread_ctx.mutex_lock
     let unlock = Samhita.Thread_ctx.mutex_unlock
     let barrier_wait = Samhita.Thread_ctx.barrier_wait

@@ -28,6 +28,8 @@ let make ?(config = Smp.Config.default) () : Backend_sig.backend =
 
     let charge_mem_ops t n =
       Smp.Runtime.charge t (float_of_int n *. config.Smp.Config.t_mem)
+    let now_ns = Smp.Runtime.now_ns
+    let idle_until = Smp.Runtime.idle_until
     let lock = Smp.Runtime.lock
     let unlock = Smp.Runtime.unlock
     let barrier_wait = Smp.Runtime.barrier_wait

@@ -1,0 +1,43 @@
+type t = {
+  n : int;
+  s : float;
+  z : float;  (* Normalizer: sum over k of (k+1)^(-s). *)
+  cdf : float array;  (* cdf.(k) = P(X <= k); cdf.(n-1) forced to 1. *)
+}
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if not (Float.is_finite s) || s < 0. then
+    invalid_arg "Zipf.create: s must be finite and non-negative";
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for k = 0 to n - 1 do
+    total := !total +. (float_of_int (k + 1) ** -.s);
+    cdf.(k) <- !total
+  done;
+  let z = !total in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. z
+  done;
+  (* Guard against the prefix sum landing a ulp short of 1: a draw in the
+     gap must still map to the last key, not run off the array. *)
+  cdf.(n - 1) <- 1.;
+  { n; s; z; cdf }
+
+let n t = t.n
+let s t = t.s
+
+let pmf t k =
+  if k < 0 || k >= t.n then invalid_arg "Zipf.pmf: key out of range";
+  float_of_int (k + 1) ** -.t.s /. t.z
+
+let sample t rng =
+  let u = Desim.Rng.float rng 1.0 in
+  (* Smallest k with u < cdf.(k): inverse-CDF by binary search, one RNG
+     draw per sample so key streams replay exactly per seed. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if u < t.cdf.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,25 @@
+(** Zipfian key-popularity distribution over [\[0, n)].
+
+    [pmf k] is proportional to [(k+1)^(-s)], the classic serving-workload
+    skew (low-numbered keys are hot). [s = 0] degenerates to the uniform
+    distribution; larger [s] concentrates more mass on the head. Sampling
+    inverts the CDF with a binary search — O(log n) per draw, consuming
+    exactly one {!Desim.Rng.float}, so a key stream is a pure function of
+    the generator's seed. *)
+
+type t
+
+val create : n:int -> s:float -> t
+(** Raises [Invalid_argument] unless [n > 0] and [s] is finite and
+    non-negative. *)
+
+val n : t -> int
+val s : t -> float
+
+val pmf : t -> int -> float
+(** Analytic probability of key [k]; raises [Invalid_argument] out of
+    range. The statistical tests chi-square observed draw counts against
+    this. *)
+
+val sample : t -> Desim.Rng.t -> int
+(** Draw a key in [\[0, n)]. *)

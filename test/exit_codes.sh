@@ -4,7 +4,8 @@
 # usage errors. A drift in any of these breaks scripted CI consumers.
 set -u
 
-bin="$1"
+# Absolute path: the serve --json check below runs from a scratch dir.
+bin="$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"
 fails=0
 
 expect() {
@@ -41,6 +42,47 @@ expect 0 "clean replay is clean" check --kernel micro --replay 0
 
 # torture: a clean sweep exits 0 (tiny sweep to stay fast).
 expect 0 "clean torture sweep" torture --kernel micro --seeds 2 --faults off
+expect 0 "clean kv torture sweep" torture --kernel kv --seeds 2 --faults off
+
+# serve: 0 on a clean sweep, 2 on usage errors.
+serve_quick=(--backend pth -t 2 --clients 4 --requests 64 --keys 16 --load 0.5)
+expect 0 "clean serve sweep" serve "${serve_quick[@]}"
+expect 2 "serve rejects zero threads" serve -t 0
+expect 2 "serve rejects bad shards" serve --keys 8 --shards 9
+expect 2 "serve rejects bad read fraction" serve --read-fraction 1.5
+expect 2 "serve rejects bad replication" serve --replication 2
+expect 2 "serve rejects replication on pth" serve --backend pth --replication 1
+expect 2 "serve rejects crash without replication" serve --backend smh --crash
+expect 2 "serve rejects malformed load" serve --load 0.5,zero
+expect 2 "serve rejects negative load" serve --load=-0.5
+
+# serve --json: the BENCH.json serve block's schema is a CI consumer
+# contract. Written in a scratch dir so the repo root stays untouched,
+# then appended again to prove the block replaces itself idempotently.
+scratch="$(mktemp -d)"
+(
+  cd "$scratch" || exit 1
+  "$bin" serve "${serve_quick[@]}" --json >/dev/null 2>&1
+  "$bin" serve "${serve_quick[@]}" --json >/dev/null 2>&1
+)
+json_fail=0
+for field in '"serve":' '"backend": "pth"' '"threads": 2' '"replication": 0' \
+  '"crash": false' '"capacity_rps":' '"points":' '"fraction":' \
+  '"rate_rps":' '"achieved_rps":' '"served":' '"p50_ns":' '"p99_ns":' \
+  '"p999_ns":' '"mean_ns":' '"max_ns":' '"wall_ns":' '"lost_writes":'; do
+  if ! grep -qF -- "$field" "$scratch/BENCH.json"; then
+    echo "exit_codes: serve --json schema: missing $field" >&2
+    json_fail=1
+  fi
+done
+if [ "$(grep -cF '"serve":' "$scratch/BENCH.json")" -ne 1 ]; then
+  echo "exit_codes: serve --json: re-append duplicated the serve block" >&2
+  json_fail=1
+fi
+if [ "$json_fail" -ne 0 ]; then
+  fails=$((fails + 1))
+fi
+rm -rf "$scratch"
 
 if [ "$fails" -ne 0 ]; then
   echo "exit_codes: $fails contract violation(s)" >&2

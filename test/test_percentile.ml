@@ -1,0 +1,146 @@
+(* The streaming estimator against exact sorted-array quantiles.
+
+   Documented error bound (see percentile.mli): with [exact] the
+   nearest-rank quantile of the raw stream,
+
+     0 <= est - exact <= exact / 32
+
+   — the estimator never undershoots and overshoots by at most one
+   subbucket width (1/32 relative). Values below 64 are exact. *)
+
+let exact_percentile values q =
+  let a = Array.copy values in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  a.(rank - 1)
+
+let quantiles = [ 0.0; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ]
+
+let check_bounds name values =
+  let t = Harness.Percentile.create () in
+  Array.iter (Harness.Percentile.add t) values;
+  List.iter
+    (fun q ->
+       let est = Harness.Percentile.percentile t q in
+       let exact = exact_percentile values q in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s q=%.3f: est %d >= exact %d" name q est exact)
+         true (est >= exact);
+       Alcotest.(check bool)
+         (Printf.sprintf "%s q=%.3f: est %d <= exact %d * 33/32" name q est
+            exact)
+         true
+         (float_of_int est <= float_of_int exact *. (1. +. (1. /. 32.))))
+    quantiles;
+  Alcotest.(check int) "min exact"
+    (Array.fold_left min max_int values)
+    (Harness.Percentile.min_value t);
+  Alcotest.(check int) "max exact"
+    (Array.fold_left max 0 values)
+    (Harness.Percentile.max_value t)
+
+let test_uniform () =
+  let rng = Desim.Rng.create ~seed:11 in
+  check_bounds "uniform"
+    (Array.init 10_000 (fun _ -> Desim.Rng.int rng 1_000_000))
+
+let test_bimodal () =
+  (* The serving shape: a fast mode and a slow mode three decades up. *)
+  let rng = Desim.Rng.create ~seed:12 in
+  check_bounds "bimodal"
+    (Array.init 10_000 (fun _ ->
+         if Desim.Rng.int rng 10 = 0 then
+           900_000 + Desim.Rng.int rng 200_000
+         else 80 + Desim.Rng.int rng 40))
+
+let test_heavy_tail () =
+  let rng = Desim.Rng.create ~seed:13 in
+  check_bounds "heavy tail"
+    (Array.init 10_000 (fun _ ->
+         int_of_float (Desim.Rng.exponential rng ~mean:50_000.)))
+
+let test_small_values_exact () =
+  (* [0, 64) has unit-width buckets: every quantile is exact. *)
+  let values = Array.init 64 Fun.id in
+  let t = Harness.Percentile.create () in
+  Array.iter (Harness.Percentile.add t) values;
+  List.iter
+    (fun q ->
+       Alcotest.(check int)
+         (Printf.sprintf "exact below 64 (q=%.3f)" q)
+         (exact_percentile values q)
+         (Harness.Percentile.percentile t q))
+    quantiles
+
+let test_empty () =
+  let t = Harness.Percentile.create () in
+  Alcotest.(check int) "empty count" 0 (Harness.Percentile.count t);
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Percentile.percentile: empty") (fun () ->
+      ignore (Harness.Percentile.percentile t 0.5));
+  Alcotest.check_raises "empty min"
+    (Invalid_argument "Percentile.min_value: empty") (fun () ->
+      ignore (Harness.Percentile.min_value t));
+  Alcotest.check_raises "empty mean"
+    (Invalid_argument "Percentile.mean: empty") (fun () ->
+      ignore (Harness.Percentile.mean t))
+
+let test_singleton () =
+  let t = Harness.Percentile.create () in
+  Harness.Percentile.add t 123_456;
+  List.iter
+    (fun q ->
+       Alcotest.(check int)
+         (Printf.sprintf "singleton q=%.3f" q)
+         123_456
+         (Harness.Percentile.percentile t q))
+    quantiles;
+  Alcotest.(check (float 0.)) "singleton mean" 123_456.
+    (Harness.Percentile.mean t)
+
+let test_validation () =
+  let t = Harness.Percentile.create () in
+  Alcotest.check_raises "negative value"
+    (Invalid_argument "Percentile.add: negative value") (fun () ->
+      Harness.Percentile.add t (-1));
+  Harness.Percentile.add t 1;
+  Alcotest.check_raises "quantile out of range"
+    (Invalid_argument "Percentile.percentile: quantile must be in [0,1]")
+    (fun () -> ignore (Harness.Percentile.percentile t 1.5))
+
+let test_mean_and_count_exact () =
+  let t = Harness.Percentile.create () in
+  List.iter (Harness.Percentile.add t) [ 10; 20; 30; 40 ];
+  Alcotest.(check int) "count" 4 (Harness.Percentile.count t);
+  Alcotest.(check (float 0.)) "mean" 25. (Harness.Percentile.mean t)
+
+let prop_bound_holds =
+  QCheck.Test.make
+    ~name:"estimate within [exact, exact*(1+1/32)] on random streams"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 200) (int_range 0 10_000_000))
+        (float_range 0. 1.))
+    (fun (l, q) ->
+       let values = Array.of_list l in
+       let t = Harness.Percentile.create () in
+       Array.iter (Harness.Percentile.add t) values;
+       let est = Harness.Percentile.percentile t q in
+       let exact = exact_percentile values q in
+       est >= exact
+       && float_of_int est <= float_of_int exact *. (1. +. (1. /. 32.)))
+
+let tests =
+  [ Alcotest.test_case "uniform" `Quick test_uniform;
+    Alcotest.test_case "bimodal" `Quick test_bimodal;
+    Alcotest.test_case "heavy tail" `Quick test_heavy_tail;
+    Alcotest.test_case "exact below 64" `Quick test_small_values_exact;
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "singleton" `Quick test_singleton;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "mean and count" `Quick test_mean_and_count_exact;
+    QCheck_alcotest.to_alcotest prop_bound_holds ]
+
+let () = Alcotest.run "percentile" [ ("percentile", tests) ]

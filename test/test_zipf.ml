@@ -1,0 +1,144 @@
+(* Statistical and structural tests for the Zipf key sampler.
+
+   The sampler is deterministic per seed, so the chi-squared tests are
+   not flaky: each checks one pinned (seed, s, n, draws) combination
+   against the analytic pmf at a fixed critical value. *)
+
+(* Upper critical values of the chi-squared distribution at alpha = 0.001
+   (i.e. a correct sampler fails with probability 1/1000 per fresh seed;
+   with pinned seeds, never — these seeds were observed to pass). *)
+let chi2_crit_df15 = 37.70
+let chi2_crit_df7 = 24.32
+
+let chi2 ~counts ~expected =
+  let c = ref 0. in
+  Array.iteri
+    (fun k n ->
+       let e = expected.(k) in
+       let d = float_of_int n -. e in
+       c := !c +. (d *. d /. e))
+    counts;
+  !c
+
+let draw_counts ~seed ~n ~s ~draws =
+  let z = Workload.Zipf.create ~n ~s in
+  let rng = Desim.Rng.create ~seed in
+  let counts = Array.make n 0 in
+  for _i = 1 to draws do
+    let k = Workload.Zipf.sample z rng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  counts
+
+let expected_counts ~n ~s ~draws =
+  let z = Workload.Zipf.create ~n ~s in
+  Array.init n (fun k -> float_of_int draws *. Workload.Zipf.pmf z k)
+
+let check_gof ~seed ~n ~s ~draws ~crit =
+  let counts = draw_counts ~seed ~n ~s ~draws in
+  let expected = expected_counts ~n ~s ~draws in
+  let c = chi2 ~counts ~expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 GOF s=%.2f n=%d seed=%d (got %.2f < %.2f)" s n
+       seed c crit)
+    true (c < crit)
+
+let test_gof_uniform () =
+  (* s = 0 must degenerate to the uniform distribution. *)
+  check_gof ~seed:1 ~n:16 ~s:0.0 ~draws:16_000 ~crit:chi2_crit_df15;
+  check_gof ~seed:7 ~n:8 ~s:0.0 ~draws:8_000 ~crit:chi2_crit_df7
+
+let test_gof_skewed () =
+  check_gof ~seed:2 ~n:16 ~s:0.5 ~draws:16_000 ~crit:chi2_crit_df15;
+  check_gof ~seed:3 ~n:16 ~s:1.0 ~draws:16_000 ~crit:chi2_crit_df15;
+  check_gof ~seed:4 ~n:16 ~s:1.5 ~draws:16_000 ~crit:chi2_crit_df15;
+  check_gof ~seed:5 ~n:8 ~s:0.9 ~draws:8_000 ~crit:chi2_crit_df7
+
+let test_gof_power () =
+  (* Negative control: the same statistic must reject a wrong hypothesis,
+     or the GOF tests above are vacuous. Zipf(1.5) draws tested against
+     the uniform pmf concentrate ~half the mass on key 0. *)
+  let counts = draw_counts ~seed:2 ~n:16 ~s:1.5 ~draws:16_000 in
+  let expected = expected_counts ~n:16 ~s:0.0 ~draws:16_000 in
+  let c = chi2 ~counts ~expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "chi2 rejects wrong pmf (got %.0f)" c)
+    true
+    (c > 100. *. chi2_crit_df15)
+
+let test_determinism () =
+  let stream seed =
+    let z = Workload.Zipf.create ~n:64 ~s:0.9 in
+    let rng = Desim.Rng.create ~seed in
+    List.init 1000 (fun _ -> Workload.Zipf.sample z rng)
+  in
+  Alcotest.(check (list int)) "same seed, same key stream" (stream 42)
+    (stream 42);
+  Alcotest.(check bool) "different seeds diverge" true
+    (stream 42 <> stream 43)
+
+let test_pmf_properties () =
+  List.iter
+    (fun s ->
+       let n = 32 in
+       let z = Workload.Zipf.create ~n ~s in
+       let total = ref 0. in
+       for k = 0 to n - 1 do
+         total := !total +. Workload.Zipf.pmf z k;
+         if k > 0 then
+           Alcotest.(check bool)
+             (Printf.sprintf "pmf non-increasing (s=%.1f k=%d)" s k)
+             true
+             (Workload.Zipf.pmf z k <= Workload.Zipf.pmf z (k - 1))
+       done;
+       Alcotest.(check bool)
+         (Printf.sprintf "pmf sums to 1 (s=%.1f)" s)
+         true
+         (Float.abs (!total -. 1.) < 1e-9))
+    [ 0.0; 0.5; 0.9; 1.5; 3.0 ];
+  let u = Workload.Zipf.create ~n:10 ~s:0.0 in
+  Alcotest.(check (float 0.)) "s=0 pmf exactly uniform" 0.1
+    (Workload.Zipf.pmf u 3)
+
+let test_validation () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Zipf.create: n must be positive") (fun () ->
+      ignore (Workload.Zipf.create ~n:0 ~s:1.0));
+  Alcotest.check_raises "negative s"
+    (Invalid_argument "Zipf.create: s must be finite and non-negative")
+    (fun () -> ignore (Workload.Zipf.create ~n:4 ~s:(-1.0)));
+  Alcotest.check_raises "pmf out of range"
+    (Invalid_argument "Zipf.pmf: key out of range") (fun () ->
+      ignore (Workload.Zipf.pmf (Workload.Zipf.create ~n:4 ~s:1.0) 4))
+
+let prop_sample_in_range =
+  QCheck.Test.make ~name:"samples always land in [0,n)" ~count:200
+    QCheck.(triple (int_range 1 200) (float_range 0. 3.) small_int)
+    (fun (n, s, seed) ->
+       let z = Workload.Zipf.create ~n ~s in
+       let rng = Desim.Rng.create ~seed in
+       List.for_all
+         (fun _ ->
+            let k = Workload.Zipf.sample z rng in
+            k >= 0 && k < n)
+         (List.init 100 Fun.id))
+
+let prop_head_dominates =
+  QCheck.Test.make ~name:"more skew never makes key 0 rarer" ~count:100
+    QCheck.(pair (int_range 2 100) (float_range 0. 2.))
+    (fun (n, s) ->
+       let a = Workload.Zipf.create ~n ~s in
+       let b = Workload.Zipf.create ~n ~s:(s +. 0.5) in
+       Workload.Zipf.pmf b 0 >= Workload.Zipf.pmf a 0)
+
+let tests =
+  [ Alcotest.test_case "GOF: s=0 is uniform" `Quick test_gof_uniform;
+    Alcotest.test_case "GOF: skewed pmfs" `Quick test_gof_skewed;
+    Alcotest.test_case "GOF power (negative control)" `Quick test_gof_power;
+    Alcotest.test_case "determinism per seed" `Quick test_determinism;
+    Alcotest.test_case "pmf properties" `Quick test_pmf_properties;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest prop_sample_in_range;
+    QCheck_alcotest.to_alcotest prop_head_dominates ]
+
+let () = Alcotest.run "zipf" [ ("zipf", tests) ]
