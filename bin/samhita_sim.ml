@@ -9,89 +9,19 @@
      race                 run the seeded-race kernel under RegCSan
      serve                KV serving: open-loop load sweep, tail latency
 
-   `micro`, `jacobi` and `md` accept --sanitize to attach the RegCSan
-   analyzer and print its findings after the run. *)
+   Shared flags, converters, validators and the usage-error shape live in
+   {!Cli}; `micro`, `jacobi` and `md` accept --sanitize to attach the
+   RegCSan analyzer, and --shards / --migrate to shard the control plane
+   and enable home-page migration. *)
 
 open Cmdliner
 
-let scale_arg =
-  let parse s =
-    match Harness.Experiments.scale_of_string s with
-    | Ok v -> Ok v
-    | Error e -> Error (`Msg e)
-  in
-  let print ppf = function
-    | Harness.Experiments.Quick -> Format.fprintf ppf "quick"
-    | Harness.Experiments.Paper -> Format.fprintf ppf "paper"
-  in
-  Arg.conv (parse, print)
-
-let scale_t =
-  Arg.(
-    value
-    & opt scale_arg Harness.Experiments.Paper
-    & info [ "scale" ] ~docv:"SCALE"
-        ~doc:"Sweep size: $(b,quick) or $(b,paper).")
-
-let backend_t =
-  let parse = function
-    | "smh" | "samhita" -> Ok `Smh
-    | "pth" | "pthreads" -> Ok `Pth
-    | s -> Error (`Msg (Printf.sprintf "unknown backend %S" s))
-  in
-  let print ppf v =
-    Format.pp_print_string ppf (match v with `Smh -> "smh" | `Pth -> "pth")
-  in
-  Arg.(
-    value
-    & opt (conv (parse, print)) `Smh
-    & info [ "backend" ] ~docv:"BACKEND"
-        ~doc:"Runtime: $(b,smh) (Samhita DSM) or $(b,pth) (SMP baseline).")
-
-let backend_of = function
-  | `Smh -> Workload.Samhita_backend.default
-  | `Pth -> Workload.Smp_backend.default
-
-let report_t =
-  Arg.(
-    value & flag
-    & info [ "report" ]
-        ~doc:
-          "After the run, print a system report (fabric traffic, server \
-           and manager utilization, cache behaviour). Samhita backend \
-           only.")
-
-let threads_t =
-  Arg.(
-    value & opt int 8
-    & info [ "t"; "threads" ] ~docv:"N" ~doc:"Compute thread count.")
-
-let sanitize_t =
-  Arg.(
-    value & flag
-    & info [ "sanitize" ]
-        ~doc:
-          "Attach the RegCSan access-stream analyzer and print its \
-           findings after the run: data races, RegC publication \
-           violations, mixed region/ordinary writes, invalid reads, lock \
-           misuse. Samhita backend only.")
-
-(* With --sanitize (or micro's --report) the kernel runs on a backend that
-   captures the concrete system so the analyzer/report can be read back. *)
-let sanitized_backend ~sanitize ~captured =
-  let config =
-    if sanitize then
-      { Samhita.Config.default with Samhita.Config.sanitize = true }
-    else Samhita.Config.default
-  in
-  Workload.Samhita_backend.make ~config
-    ~on_create:(fun sys -> captured := Some sys)
-    ()
-
-let print_sanitizer sys =
-  match Samhita.System.sanitizer sys with
-  | None -> ()
-  | Some s -> Format.printf "%a@." Analysis.Regcsan.pp_report s
+let scale_t = Cli.scale_t
+let backend_t = Cli.backend_t
+let report_t = Cli.report_t
+let threads_t = Cli.threads_t
+let sanitize_t = Cli.sanitize_t
+let print_sanitizer = Cli.print_sanitizer
 
 (* ---------------- list ---------------- *)
 
@@ -120,9 +50,7 @@ let fig_cmd =
   let run id scale csv =
     match Harness.Experiments.by_id id with
     | None ->
-      Printf.eprintf
-        "samhita_sim fig: unknown figure id %S (try `samhita_sim list`)\n" id;
-      exit 2
+      Cli.usage ~cmd:"fig" "unknown figure id %S (try `samhita_sim list`)" id
     | Some f ->
       let fig = f (Harness.Experiments.ctx scale) in
       if csv then print_string (Harness.Series.to_csv fig)
@@ -157,15 +85,14 @@ let micro_cmd =
   let s_t =
     Arg.(value & opt int 2 & info [ "s" ] ~docv:"S" ~doc:"Rows per thread.")
   in
-  let run backend threads alloc m s report sanitize =
+  let run backend threads alloc m s shards servers migrate report sanitize =
     let p =
       { Workload.Microbench.default_params with alloc; m_inner = m; s_rows = s }
     in
     let captured = ref None in
     let b =
-      match backend with
-      | `Smh when report || sanitize -> sanitized_backend ~sanitize ~captured
-      | other -> backend_of other
+      Cli.kernel_backend ~cmd:"micro" ~backend ~threads ~shards ~servers
+        ~migrate ~sanitize ~captured
     in
     let r = Workload.Microbench.run b ~threads p in
     Printf.printf
@@ -174,7 +101,7 @@ let micro_cmd =
       \  compute (mean)  %.3f ms   sync (mean)  %.3f ms\n\
       \  misses          %d\n\
       \  gsum            %.9g (expected %.9g) %s\n"
-      (match backend with `Smh -> "samhita" | `Pth -> "pthreads")
+      (Cli.backend_name backend)
       (Workload.Microbench.mode_name alloc)
       threads m s
       (float_of_int r.wall_ns /. 1e6)
@@ -191,18 +118,16 @@ let micro_cmd =
         Format.printf "%a@." Harness.Report.pp (Harness.Report.of_system sys)
       else if sanitize then print_sanitizer sys
     | None ->
-      if report || sanitize then begin
-        Printf.eprintf
-          "samhita_sim micro: %s requires --backend smh (got --backend pth)\n"
-          (if report then "--report" else "--sanitize");
-        exit 2
-      end
+      if report || sanitize then
+        Cli.usage ~cmd:"micro"
+          "%s requires --backend smh (got --backend pth)"
+          (if report then "--report" else "--sanitize")
   in
   Cmd.v
     (Cmd.info "micro" ~doc:"Run the paper's Figure-2 micro-benchmark once")
     Term.(
-      const run $ backend_t $ threads_t $ alloc_t $ m_t $ s_t $ report_t
-      $ sanitize_t)
+      const run $ backend_t $ threads_t $ alloc_t $ m_t $ s_t $ Cli.shards_t
+      $ Cli.servers_t $ Cli.migrate_t $ report_t $ sanitize_t)
 
 (* ---------------- jacobi ---------------- *)
 
@@ -213,13 +138,12 @@ let jacobi_cmd =
   let iters_t =
     Arg.(value & opt int 20 & info [ "iters" ] ~docv:"K" ~doc:"Sweeps.")
   in
-  let run backend threads n iters sanitize =
+  let run backend threads n iters shards servers migrate sanitize =
     let p = { Workload.Jacobi.default_params with n; iters } in
     let captured = ref None in
     let b =
-      match backend with
-      | `Smh when sanitize -> sanitized_backend ~sanitize ~captured
-      | other -> backend_of other
+      Cli.kernel_backend ~cmd:"jacobi" ~backend ~threads ~shards ~servers
+        ~migrate ~sanitize ~captured
     in
     let r = Workload.Jacobi.run b ~threads p in
     let ref_sum, ref_res = Workload.Jacobi.reference p in
@@ -228,25 +152,24 @@ let jacobi_cmd =
       \  wall       %.3f ms\n\
       \  checksum   %.9g (reference %.9g) %s\n\
       \  residual   %.9g (reference %.9g)\n"
-      (match backend with `Smh -> "samhita" | `Pth -> "pthreads")
+      (Cli.backend_name backend)
       threads n iters
       (float_of_int r.wall_ns /. 1e6)
       r.checksum ref_sum
       (if r.checksum = ref_sum then "OK" else "MISMATCH")
       r.residual ref_res;
     (match !captured with
-     | Some sys -> print_sanitizer sys
+     | Some sys -> if sanitize then print_sanitizer sys
      | None ->
-       if sanitize then begin
-         Printf.eprintf
-           "samhita_sim jacobi: --sanitize requires --backend smh (got \
-            --backend pth)\n";
-         exit 2
-       end)
+       if sanitize then
+         Cli.usage ~cmd:"jacobi"
+           "--sanitize requires --backend smh (got --backend pth)")
   in
   Cmd.v
     (Cmd.info "jacobi" ~doc:"Run the Jacobi application kernel once")
-    Term.(const run $ backend_t $ threads_t $ n_t $ iters_t $ sanitize_t)
+    Term.(
+      const run $ backend_t $ threads_t $ n_t $ iters_t $ Cli.shards_t
+      $ Cli.servers_t $ Cli.migrate_t $ sanitize_t)
 
 (* ---------------- md ---------------- *)
 
@@ -257,13 +180,12 @@ let md_cmd =
   let steps_t =
     Arg.(value & opt int 10 & info [ "steps" ] ~docv:"K" ~doc:"Time steps.")
   in
-  let run backend threads n steps sanitize =
+  let run backend threads n steps shards servers migrate sanitize =
     let p = { Workload.Md.default_params with n; steps } in
     let captured = ref None in
     let b =
-      match backend with
-      | `Smh when sanitize -> sanitized_backend ~sanitize ~captured
-      | other -> backend_of other
+      Cli.kernel_backend ~cmd:"md" ~backend ~threads ~shards ~servers
+        ~migrate ~sanitize ~captured
     in
     let r = Workload.Md.run b ~threads p in
     let ref_sum, _ = Workload.Md.reference p in
@@ -271,7 +193,7 @@ let md_cmd =
       "md %s P=%d n=%d steps=%d\n\
       \  wall          %.3f ms\n\
       \  pos checksum  %.9g (reference %.9g) %s\n"
-      (match backend with `Smh -> "samhita" | `Pth -> "pthreads")
+      (Cli.backend_name backend)
       threads n steps
       (float_of_int r.wall_ns /. 1e6)
       r.pos_checksum ref_sum
@@ -281,18 +203,17 @@ let md_cmd =
          Printf.printf "  step %2d  kinetic %.6f  potential %.6f\n" i ke pe)
       r.energies;
     (match !captured with
-     | Some sys -> print_sanitizer sys
+     | Some sys -> if sanitize then print_sanitizer sys
      | None ->
-       if sanitize then begin
-         Printf.eprintf
-           "samhita_sim md: --sanitize requires --backend smh (got \
-            --backend pth)\n";
-         exit 2
-       end)
+       if sanitize then
+         Cli.usage ~cmd:"md"
+           "--sanitize requires --backend smh (got --backend pth)")
   in
   Cmd.v
     (Cmd.info "md" ~doc:"Run the molecular-dynamics kernel once")
-    Term.(const run $ backend_t $ threads_t $ n_t $ steps_t $ sanitize_t)
+    Term.(
+      const run $ backend_t $ threads_t $ n_t $ steps_t $ Cli.shards_t
+      $ Cli.servers_t $ Cli.migrate_t $ sanitize_t)
 
 (* ---------------- serve ---------------- *)
 
@@ -419,21 +340,15 @@ let serve_cmd =
             "Also write the sweep as the $(b,serve) block of BENCH.json \
              in the current directory.")
   in
-  let run backend threads keys shards clients requests zipf read_fraction
-      seed replication crash load json =
+  let run backend threads keys shards manager_shards clients requests zipf
+      read_fraction seed replication crash load json =
     (* Hand-validated so usage errors exit 2 (the shared contract). *)
-    let usage fmt =
-      Printf.ksprintf
-        (fun m ->
-           Printf.eprintf "samhita_sim serve: %s\n" m;
-           exit 2)
-        fmt
-    in
-    if threads <= 0 || threads > Samhita.Config.max_threads then
-      usage "--threads must be in 1..%d" Samhita.Config.max_threads;
+    let usage fmt = Cli.usage ~cmd:"serve" fmt in
+    Cli.check_threads ~cmd:"serve" threads;
     if keys <= 0 then usage "--keys must be positive";
     if shards <= 0 || shards > keys then
       usage "--shards must be in 1..keys";
+    Cli.check_shards ~cmd:"serve" ~flag:"--manager-shards" manager_shards;
     if clients <= 0 then usage "--clients must be positive";
     if requests <= 0 then usage "--requests must be positive";
     if not (Float.is_finite zipf) || zipf < 0. then
@@ -445,6 +360,8 @@ let serve_cmd =
       usage "--replication must be 0 or 1";
     if backend = `Pth && (replication > 0 || crash) then
       usage "--replication and --crash require --backend smh";
+    Cli.check_smh_only ~cmd:"serve" ~backend
+      [ ("--manager-shards", manager_shards > 1) ];
     if crash && replication = 0 then
       usage "--crash requires --replication 1";
     let fractions =
@@ -474,7 +391,7 @@ let serve_cmd =
     in
     let sweep =
       Harness.Serving.run ~fractions ~backend:kind ~threads ~replication
-        ~crash kv
+        ~manager_shards ~crash kv
     in
     Format.printf "%a@?" Harness.Serving.pp sweep;
     if json then append_serve_json sweep;
@@ -498,9 +415,10 @@ let serve_cmd =
           p50/p99/p999 tail latency per point (exit 1 if any acked write \
           was lost)")
     Term.(
-      const run $ backend_t $ threads_t $ keys_t $ shards_t $ clients_t
-      $ requests_t $ zipf_t $ read_fraction_t $ seed_t $ replication_t
-      $ crash_t $ load_t $ json_t)
+      const run $ backend_t $ threads_t $ keys_t $ shards_t
+      $ Cli.manager_shards_t $ clients_t $ requests_t $ zipf_t
+      $ read_fraction_t $ seed_t $ replication_t $ crash_t $ load_t
+      $ json_t)
 
 (* ---------------- torture ---------------- *)
 
@@ -516,17 +434,9 @@ let torture_cmd =
       & info [ "base-seed" ] ~docv:"S" ~doc:"First seed of the range.")
   in
   let faults_t =
-    let parse s =
-      match Fabric.Faults.level_of_string s with
-      | Ok v -> Ok v
-      | Error e -> Error (`Msg e)
-    in
-    let print ppf v =
-      Format.pp_print_string ppf (Fabric.Faults.level_name v)
-    in
     Arg.(
       value
-      & opt (conv (parse, print)) Fabric.Faults.High
+      & opt Cli.faults_conv Fabric.Faults.High
       & info [ "faults" ] ~docv:"LEVEL"
           ~doc:
             "Fabric fault-injection level: $(b,off), $(b,low), \
@@ -569,10 +479,37 @@ let torture_cmd =
              seed-chosen instant; the oracle also checks post-recovery \
              invariants (no stale promotion, no lost acked write).")
   in
-  let run seeds base_seed level kernel replay crash =
+  let crash_shard_t =
+    Arg.(
+      value & flag
+      & info [ "crash-shard" ]
+          ~doc:
+            "Shard-crash mode: each seed additionally derives a sharded \
+             control plane (2..4 manager shards) and a fail-stop crash of \
+             one seed-chosen non-zero shard at a seed-chosen instant; the \
+             surviving ring successor absorbs the dead shard's locks, \
+             barriers and condvars and the oracle's invariants (checksums \
+             vs the sequential reference, session guarantees, determinism \
+             replay) must still hold across the takeover.")
+  in
+  let run seeds base_seed level kernel replay crash crash_shard =
+    if crash && crash_shard then
+      Cli.usage ~cmd:"torture"
+        "--crash and --crash-shard are mutually exclusive (single-failure \
+         model)";
+    if crash_shard && kernel = Torture.Runner.Racy then
+      Cli.usage ~cmd:"torture"
+        "--crash-shard supports --kernel micro, jacobi or kv (racy pins \
+         per-class defect counts that a takeover would perturb)";
+    let flags_repro =
+      (if crash then " --crash" else "")
+      ^ if crash_shard then " --crash-shard" else ""
+    in
     match replay with
     | Some seed ->
-      let o = Torture.Runner.run_one ~crash ~kernel ~level ~seed () in
+      let o =
+        Torture.Runner.run_one ~crash ~crash_shard ~kernel ~level ~seed ()
+      in
       Format.printf "%a@." Torture.Runner.pp_outcome o;
       if o.Torture.Runner.o_violations <> [] then begin
         Printf.eprintf
@@ -580,13 +517,13 @@ let torture_cmd =
            %d found violations\n"
           (Torture.Runner.kernel_name kernel)
           (Fabric.Faults.level_name level)
-          (if crash then " --crash" else "")
-          seed;
+          flags_repro seed;
         exit 1
       end
     | None ->
       let s =
-        Torture.Runner.run ~crash ~kernel ~level ~seeds ~base_seed ()
+        Torture.Runner.run ~crash ~crash_shard ~kernel ~level ~seeds
+          ~base_seed ()
       in
       Format.printf "%a@." Torture.Runner.pp_summary s;
       if s.Torture.Runner.s_failures <> [] then begin
@@ -598,13 +535,13 @@ let torture_cmd =
            %s --faults %s%s --replay <seed>@."
           (Torture.Runner.kernel_name kernel)
           (Fabric.Faults.level_name level)
-          (if crash then " --crash" else "");
+          flags_repro;
         Printf.eprintf
           "samhita_sim torture: --kernel %s --faults %s%s: %d of %d seed(s) \
            failed\n"
           (Torture.Runner.kernel_name kernel)
           (Fabric.Faults.level_name level)
-          (if crash then " --crash" else "")
+          flags_repro
           (List.length s.Torture.Runner.s_failures)
           seeds;
         exit 1
@@ -621,7 +558,7 @@ let torture_cmd =
           bit-for-bit determinism")
     Term.(
       const run $ seeds_t $ base_seed_t $ faults_t $ kernel_t $ replay_t
-      $ crash_t)
+      $ crash_t $ crash_shard_t)
 
 (* ---------------- race ---------------- *)
 
@@ -723,22 +660,13 @@ let check_cmd =
     let kernel =
       match Check.Kernels.of_name kernel with
       | Ok k -> k
-      | Error e ->
-        Printf.eprintf "samhita_sim check: %s\n" e;
-        exit 2
+      | Error e -> Cli.usage ~cmd:"check" "%s" e
     in
-    if threads < 2 || threads > 3 then begin
-      Printf.eprintf "samhita_sim check: --threads must be 2 or 3\n";
-      exit 2
-    end;
-    if pages < 1 || pages > 2 then begin
-      Printf.eprintf "samhita_sim check: --pages must be 1 or 2\n";
-      exit 2
-    end;
-    if quantum < 0 then begin
-      Printf.eprintf "samhita_sim check: --quantum must be >= 0\n";
-      exit 2
-    end;
+    if threads < 2 || threads > 3 then
+      Cli.usage ~cmd:"check" "--threads must be 2 or 3";
+    if pages < 1 || pages > 2 then
+      Cli.usage ~cmd:"check" "--pages must be 1 or 2";
+    if quantum < 0 then Cli.usage ~cmd:"check" "--quantum must be >= 0";
     let opts =
       { Check.Checker.kernel;
         threads;
@@ -751,17 +679,14 @@ let check_cmd =
     match replay with
     | Some sched_str -> begin
         match Check.Schedule.of_string sched_str with
-        | Error e ->
-          Printf.eprintf "samhita_sim check: %s\n" e;
-          exit 2
+        | Error e -> Cli.usage ~cmd:"check" "%s" e
         | Ok sched -> begin
             match Check.Checker.replay opts sched with
             | rp ->
               Format.printf "%a@." Check.Checker.pp_replay rp;
               if rp.Check.Checker.rp_defects <> [] then exit 1
             | exception Check.Checker.Bad_schedule msg ->
-              Printf.eprintf "samhita_sim check: %s\n" msg;
-              exit 2
+              Cli.usage ~cmd:"check" "%s" msg
           end
       end
     | None ->

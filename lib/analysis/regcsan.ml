@@ -65,7 +65,7 @@ type tstate = {
 type bstate = {
   bvc : Vclock.t;  (* join of participants' clocks at arrival *)
   bpub : Vclock.t;  (* join of participants' pub vectors (transitivity) *)
-  mutable parts : int;  (* participant bitmask *)
+  parts : bool array;  (* participant flags, indexed by thread id *)
 }
 
 type t = {
@@ -448,7 +448,10 @@ let bstate_of t key =
   match Hashtbl.find_opt t.barriers key with
   | Some b -> b
   | None ->
-    let b = { bvc = Vclock.create t.n; bpub = Vclock.create t.n; parts = 0 } in
+    let b =
+      { bvc = Vclock.create t.n;
+        bpub = Vclock.create t.n;
+        parts = Array.make t.n false } in
     Hashtbl.replace t.barriers key b;
     b
 
@@ -457,7 +460,7 @@ let on_barrier_arrive t ~thread ~barrier ~epoch =
   let b = bstate_of t (barrier, epoch) in
   Vclock.join b.bvc st.vc;
   Vclock.join b.bpub st.pub;
-  b.parts <- b.parts lor (1 lsl thread);
+  b.parts.(thread) <- true;
   Vclock.tick st.vc thread
 
 let on_barrier_depart t ~thread ~barrier ~epoch =
@@ -471,7 +474,7 @@ let on_barrier_depart t ~thread ~barrier ~epoch =
        whatever the participants had already seen published. *)
     Vclock.join st.pub b.bpub;
     for u = 0 to t.n - 1 do
-      if b.parts land (1 lsl u) <> 0 && Vclock.get b.bvc u > Vclock.get st.pub u
+      if b.parts.(u) && Vclock.get b.bvc u > Vclock.get st.pub u
       then Vclock.set st.pub u (Vclock.get b.bvc u)
     done
 

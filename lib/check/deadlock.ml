@@ -1,10 +1,10 @@
-type edge = { waiter : int; holder : int; lock : Samhita.Manager.lock_id }
+type edge = { waiter : int; holder : int; lock : Samhita.Manager_shard.lock_id }
 
 type t = {
   edges : edge list;
   cycle : edge list option;
-  barriers : (Samhita.Manager.barrier_id * int list * int) list;
-  conds : (Samhita.Manager.cond_id * int list) list;
+  barriers : (Samhita.Manager_shard.barrier_id * int list * int) list;
+  conds : (Samhita.Manager_shard.cond_id * int list) list;
 }
 
 (* Lock wait-for edges: thread [w] queued on lock [l] waits for the
@@ -14,13 +14,13 @@ type t = {
 let edges_of mgr =
   List.concat_map
     (fun lock ->
-       match Samhita.Manager.lock_holder mgr lock with
+       match Samhita.Manager_shard.lock_holder mgr lock with
        | None -> []
        | Some holder ->
          List.map
            (fun waiter -> { waiter; holder; lock })
-           (Samhita.Manager.lock_waiters mgr lock))
-    (Samhita.Manager.lock_ids mgr)
+           (Samhita.Manager_shard.lock_waiters mgr lock))
+    (Samhita.Manager_shard.lock_ids mgr)
 
 (* Find a cycle in the waiter -> holder graph. DFS with a path stack; the
    graph is tiny (<= threads nodes), so no need for anything clever.
@@ -49,18 +49,18 @@ let analyze sys =
   let barriers =
     List.filter_map
       (fun b ->
-         match Samhita.Manager.barrier_blocked mgr b with
+         match Samhita.Manager_shard.barrier_blocked mgr b with
          | [] -> None
-         | blocked -> Some (b, blocked, Samhita.Manager.barrier_parties mgr b))
-      (Samhita.Manager.barrier_ids mgr)
+         | blocked -> Some (b, blocked, Samhita.Manager_shard.barrier_parties mgr b))
+      (Samhita.Manager_shard.barrier_ids mgr)
   in
   let conds =
     List.filter_map
       (fun c ->
-         match Samhita.Manager.cond_blocked mgr c with
+         match Samhita.Manager_shard.cond_blocked mgr c with
          | [] -> None
          | blocked -> Some (c, blocked))
-      (Samhita.Manager.cond_ids mgr)
+      (Samhita.Manager_shard.cond_ids mgr)
   in
   { edges; cycle = find_cycle edges; barriers; conds }
 

@@ -8,14 +8,14 @@
     exists — the classic ABBA diagnosis — plus any barrier or condvar
     parking that explains a cycle-free stall. *)
 
-type edge = { waiter : int; holder : int; lock : Samhita.Manager.lock_id }
+type edge = { waiter : int; holder : int; lock : Samhita.Manager_shard.lock_id }
 
 type t = {
   edges : edge list;  (** All lock wait-for edges. *)
   cycle : edge list option;  (** A cycle, if the lock graph has one. *)
-  barriers : (Samhita.Manager.barrier_id * int list * int) list;
+  barriers : (Samhita.Manager_shard.barrier_id * int list * int) list;
       (** Incomplete episodes: (barrier, parked threads, parties). *)
-  conds : (Samhita.Manager.cond_id * int list) list;
+  conds : (Samhita.Manager_shard.cond_id * int list) list;
       (** Condvars with parked threads. *)
 }
 

@@ -5,19 +5,21 @@ type peer = {
   p_downgrade : int -> unit;
 }
 
-type dirent = { mutable owner : int option; mutable sharers : int }
+type dirent = { mutable owner : int option; sharers : Tset.t }
 
 type t = {
   peers : (int, peer) Hashtbl.t;
   dir : (int, dirent) Hashtbl.t;
+  cap : int;
 }
 
-let create () = { peers = Hashtbl.create 64; dir = Hashtbl.create 1024 }
+let create ?(max_threads = Config.default.Config.max_threads) () =
+  { peers = Hashtbl.create 64; dir = Hashtbl.create 1024; cap = max_threads }
 
 let register t ~thread peer =
   (* System.create validates the count up front; this guards direct use. *)
-  if thread < 0 || thread >= Config.max_threads then
-    invalid_arg "Coherence_sc.register: thread id must fit a bitmask";
+  if thread < 0 || thread >= t.cap then
+    invalid_arg "Coherence_sc.register: thread id out of range (max_threads)";
   Hashtbl.replace t.peers thread peer
 
 let peer t thread =
@@ -29,7 +31,7 @@ let entry t line =
   match Hashtbl.find_opt t.dir line with
   | Some e -> e
   | None ->
-    let e = { owner = None; sharers = 0 } in
+    let e = { owner = None; sharers = Tset.create () } in
     Hashtbl.replace t.dir line e;
     e
 
@@ -39,22 +41,12 @@ let sharers t ~line = (entry t line).sharers
 let set_owner t ~line ~thread =
   let e = entry t line in
   e.owner <- Some thread;
-  e.sharers <- 0
+  Tset.clear e.sharers
 
 let clear_owner t ~line = (entry t line).owner <- None
 
-let add_sharer t ~line ~thread =
-  let e = entry t line in
-  e.sharers <- e.sharers lor (1 lsl thread)
+let add_sharer t ~line ~thread = Tset.add (entry t line).sharers thread
 
-let drop_sharer t ~line ~thread =
-  let e = entry t line in
-  e.sharers <- e.sharers land lnot (1 lsl thread)
+let drop_sharer t ~line ~thread = Tset.remove (entry t line).sharers thread
 
-let sharer_list t ~line =
-  let mask = sharers t ~line in
-  let rec go i acc =
-    if i >= Config.max_threads then List.rev acc
-    else go (i + 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
-  in
-  go 0 []
+let sharer_list t ~line = Tset.to_list (sharers t ~line)

@@ -23,18 +23,22 @@ type peer = {
   p_downgrade : int -> unit;  (** Exclusive -> shared. *)
 }
 
-val create : unit -> t
+val create : ?max_threads:int -> unit -> t
+(** [max_threads] bounds acceptable thread ids (defaults to
+    {!Config.default}'s cap). *)
 
 val register : t -> thread:int -> peer -> unit
-(** Threads register themselves at creation. Thread ids must be <= 61. *)
+(** Threads register themselves at creation. Thread ids must be below the
+    [max_threads] the directory was created with. *)
 
 val peer : t -> int -> peer
 
 (** {2 Directory entries} *)
 
 val owner : t -> line:int -> int option
-val sharers : t -> line:int -> int
-(** Bitmask over thread ids (excluding the owner). *)
+val sharers : t -> line:int -> Tset.t
+(** Thread ids sharing the line (excluding the owner). The returned set is
+    live directory state — callers must not mutate it. *)
 
 val set_owner : t -> line:int -> thread:int -> unit
 (** Make [thread] the exclusive owner (sharers cleared). *)

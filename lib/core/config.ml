@@ -29,11 +29,12 @@ type t = {
   replication : int;
   crash_server : (int * int) option;
   lease_interval : Desim.Time.span;
+  max_threads : int;
+  manager_shards : int;
+  home_migration : bool;
+  migration_window : int;
+  crash_shard : (int * int) option;
 }
-
-(* Sharer and writer sets are thread-id bitmasks in a 63-bit int; one bit
-   is reserved so masks never overflow. Checked once in System.create. *)
-let max_threads = 62
 
 let default =
   { model = Regc;
@@ -63,7 +64,12 @@ let default =
     shuffle = false;
     replication = 0;
     crash_server = None;
-    lease_interval = Desim.Time.ns 100_000 }
+    lease_interval = Desim.Time.ns 100_000;
+    max_threads = 512;
+    manager_shards = 1;
+    home_migration = false;
+    migration_window = 32;
+    crash_shard = None }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -137,7 +143,46 @@ let validate t =
       check (t.model = Regc)
         "crash_server is only modeled for the regc engine"
   in
-  check (t.lease_interval >= 1) "lease_interval must be >= 1ns"
+  let* () = check (t.lease_interval >= 1) "lease_interval must be >= 1ns" in
+  let* () = check (t.max_threads >= 1) "max_threads must be >= 1" in
+  let* () =
+    check (t.manager_shards >= 1) "manager_shards must be >= 1"
+  in
+  let* () =
+    check
+      ((not t.manager_bypass) || t.manager_shards = 1)
+      "manager_bypass requires manager_shards = 1 (bypass is a \
+       single-compute-node optimization)"
+  in
+  let* () =
+    check (t.migration_window >= 2) "migration_window must be >= 2"
+  in
+  let* () =
+    check
+      ((not t.home_migration) || t.model = Regc)
+      "home_migration is only modeled for the regc engine"
+  in
+  match t.crash_shard with
+  | None -> Ok ()
+  | Some (shard, at) ->
+    let* () =
+      check (t.manager_shards >= 2)
+        "crash_shard requires manager_shards >= 2 (a surviving shard must \
+         take over)"
+    in
+    let* () =
+      check
+        (shard >= 1 && shard < t.manager_shards)
+        "crash_shard index out of range (shard 0 hosts allocation and is \
+         not killable)"
+    in
+    let* () = check (at >= 0) "crash_shard instant must be >= 0" in
+    let* () =
+      check (t.crash_server = None)
+        "crash_shard and crash_server are mutually exclusive (single-failure \
+         model)"
+    in
+    check (t.model = Regc) "crash_shard is only modeled for the regc engine"
 
 let model_name = function Regc -> "regc" | Sc_invalidate -> "sc-invalidate"
 
@@ -149,7 +194,8 @@ let pp ppf t =
      regc: history=%d bypass=%b coalesce=%b@ \
      cost: mem=%.2fns flop=%.2fns server=%a manager=%a diff=%.3fns/B@ \
      layout: %d server(s), %d threads/node, %s@ \
-     ft: replication=%d crash=%s lease=%a@]"
+     ft: replication=%d crash=%s lease=%a@ \
+     ctl: shards=%d max-threads=%d migrate=%b crash-shard=%s@]"
     (model_name t.model)
     t.page_bytes t.pages_per_line t.cache_lines t.prefetch
     t.evict_dirty_first t.sanitize
@@ -165,3 +211,7 @@ let pp ppf t =
      | None -> "none"
      | Some (srv, at) -> Printf.sprintf "server%d@%dns" srv at)
     Desim.Time.pp_span t.lease_interval
+    t.manager_shards t.max_threads t.home_migration
+    (match t.crash_shard with
+     | None -> "none"
+     | Some (shard, at) -> Printf.sprintf "shard%d@%dns" shard at)

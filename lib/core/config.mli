@@ -97,14 +97,37 @@ type t = {
           (only active when [replication >= 1]). A server that fails to
           answer a heartbeat within {!Fabric.Scl.dead_retry_budget}
           retransmissions has its lease expired and recovery begins. *)
+  (* Control plane *)
+  max_threads : int;
+      (** Validated cap on compute threads per system (default 512).
+          Sharer/writer sets are {!Tset} bitmaps, so the cap is a resource
+          bound, not a representation limit; {!System.create} enforces
+          it. *)
+  manager_shards : int;
+      (** Number of control-plane shards (default 1 — the classic single
+          manager, byte-identical to the unsharded build). Locks, barriers,
+          condition variables and pages are assigned to shards by the
+          consistent-hash ring ({!Hash_ring}); each shard owns its slice of
+          lock state, update logs and lease monitoring. Shard 0 also owns
+          the global address-space allocator. *)
+  home_migration : bool;
+      (** Migrate a page's home server toward its dominant writer, decided
+          seed-deterministically from per-shard write counters (default
+          off). [Regc] model only. *)
+  migration_window : int;
+      (** Writes observed per line between home-migration decisions
+          (default 32). *)
+  crash_shard : (int * int) option;
+      (** Fail-stop crash injection for the control plane:
+          [(shard, instant_ns)] kills manager shard [shard] (its fabric
+          node) from that simulated instant on. Requires
+          [manager_shards >= 2] and [shard >= 1] (shard 0 hosts
+          allocation); mutually exclusive with [crash_server]
+          (single-failure model). The ring successor takes over the dead
+          shard's slice. *)
 }
 
 val default : t
-
-val max_threads : int
-(** Hard cap on compute threads per system (62): sharer and writer sets
-    are thread-id bitmasks in a 63-bit [int]. {!System.create} enforces
-    it. *)
 
 val validate : t -> (unit, string) result
 (** Check geometric and layout invariants; returned error names the first

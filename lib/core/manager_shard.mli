@@ -1,19 +1,32 @@
-(** The Samhita manager: memory allocation, synchronization and the RegC
-    bookkeeping that synchronization carries (paper §II).
+(** One shard of the Samhita control plane: memory allocation,
+    synchronization and the RegC bookkeeping that synchronization carries
+    (paper §II).
 
-    The manager is passive simulation state; requesting threads mutate it
-    during their interactions and charge time through the manager's service
+    Historically this was the singleton [Manager]; under
+    {!Control_plane} it is one of N consistent-hash shards, each owning a
+    slice of the locks/barriers/condvars (and their update-log histories),
+    its own service resource, and its own slice of the lease monitoring.
+    With one shard the behavior is byte-identical to the old singleton.
+
+    The shard is passive simulation state; requesting threads mutate it
+    during their interactions and charge time through the shard's service
     {!Desim.Resource} and the fabric. State transitions therefore execute
     in request-{e issue} order while timestamps model request-{e arrival}
     order; the two can transiently disagree under contention, which only
     permutes grant order among already-racing threads (any such order is
     legal) — documented in DESIGN.md.
 
-    Timing contract: every operation takes [~now], the instant the manager
+    Timing contract: every operation takes [~now], the instant the shard
     {e finishes processing} the request (the caller reserved the service
     resource); replies to third parties (lock hand-off, barrier release,
-    condvar signal) are scheduled by the manager itself as fabric transfers
-    starting at [~now]. *)
+    condvar signal) are scheduled by the shard itself as fabric transfers
+    starting at [~now].
+
+    Retry contract (shard crash): requests carry enough identity
+    ([?seq] on release, [?epoch] on barrier arrival, the thread id on
+    acquire) that a retry of a request whose original execution mutated
+    state but whose reply was lost is recognized and answered without
+    mutating twice. *)
 
 type t
 
@@ -44,7 +57,10 @@ val create :
 val endpoint : t -> Fabric.Scl.endpoint
 val service : t -> Desim.Resource.t
 
-(** {2 Allocation} *)
+(** {2 Allocation}
+
+    Under the facade only shard 0 allocates (a single bump pointer keeps
+    addresses identical to the unsharded build). *)
 
 val alloc : t -> kind:[ `Arena_chunk | `Shared | `Large ] -> bytes:int -> int
 (** Reserve GAS space: arena chunks are line-aligned, shared-zone requests
@@ -56,22 +72,32 @@ val gas_used : t -> int
 (** {2 Mutual exclusion} *)
 
 val lock_create : t -> lock_id
+(** Create with a shard-local id (standalone / single-shard use). *)
+
+val lock_register : t -> id:lock_id -> unit
+(** Create lock state under a facade-assigned id. *)
 
 val lock_acquire :
   t -> now:Desim.Time.t -> lock:lock_id -> thread:int -> last_seen:int ->
   endpoint:Fabric.Scl.endpoint -> wake:(grant -> unit) ->
   [ `Granted of grant | `Queued ]
 (** If free, grants immediately (caller models its own reply transfer). If
-    held, queues the waiter; on hand-off the manager schedules the grant
-    transfer and [wake] runs at its arrival. *)
+    held, queues the waiter; on hand-off the shard schedules the grant
+    transfer and [wake] runs at its arrival. A retry by the current holder
+    re-grants; a retry by an already-queued thread replaces the stale
+    queued [wake]. *)
 
 val lock_release :
+  ?seq:int ->
   t -> now:Desim.Time.t -> lock:lock_id -> thread:int ->
   log:Update.t list -> line_versions:(int * int) list -> unit
 (** Record the release: bumps the lock version, retains the release log
     (bounded history) for future acquirers, merges [line_versions] into the
     lock's notice map, and hands the lock to the next waiter if any.
-    Raises [Invalid_argument] if [thread] does not hold the lock. *)
+    [?seq] is the releaser's per-lock release sequence number: a retry
+    carrying an already-recorded [seq] is a no-op (shard-crash
+    idempotence). Raises [Invalid_argument] if [thread] does not hold the
+    lock. *)
 
 val lock_holder : t -> lock_id -> int option
 val lock_version : t -> lock_id -> int
@@ -102,26 +128,31 @@ val cond_blocked : t -> cond_id -> int list
 (** {2 Barriers} *)
 
 val barrier_create : t -> parties:int -> barrier_id
+val barrier_register : t -> id:barrier_id -> parties:int -> unit
 
 val barrier_arrive :
+  ?epoch:int ->
   t -> now:Desim.Time.t -> barrier:barrier_id -> thread:int ->
   lines:int list -> endpoint:Fabric.Scl.endpoint ->
-  wake:((int * int) list * int -> unit) ->
-  [ `Released of (int * int) list * int | `Wait ]
+  wake:((int * Tset.t) list * int -> unit) ->
+  [ `Released of (int * Tset.t) list * int | `Wait ]
 (** Register arrival along with the lines this thread wrote (flushed) during
     the ending interval. The last arriver triggers the release: everyone
-    receives the epoch's aggregated write notices as [(line, writer_mask)]
+    receives the epoch's aggregated write notices as [(line, writers)]
     pairs ([`Released] for the caller, scheduled [wake]s for the rest, each
     carrying the reply wire size). A thread must invalidate any cached line
-    whose mask names a writer other than itself — with multiple writers,
-    version equality does not imply content equality, only the home holds
-    the merge. Thread ids must be <= 61 to fit the mask. *)
+    whose writer set names a writer other than itself — with multiple
+    writers, version equality does not imply content equality, only the
+    home holds the merge. [?epoch] is the episode the caller arrives for;
+    a retry for an already-released episode the thread participated in
+    replays that episode's notices instead of joining the next one. *)
 
 val barrier_epoch : t -> barrier_id -> int
 
 (** {2 Condition variables} *)
 
 val cond_create : t -> cond_id
+val cond_register : t -> id:cond_id -> unit
 
 val cond_wait :
   t -> cond:cond_id -> thread:int -> endpoint:Fabric.Scl.endpoint ->
@@ -134,24 +165,49 @@ val cond_signal : t -> now:Desim.Time.t -> cond:cond_id -> int
 
 val cond_broadcast : t -> now:Desim.Time.t -> cond:cond_id -> int
 
+(** {2 Home-page migration} *)
+
+val set_migrator : t -> (line:int -> target:int -> bool) -> unit
+(** Install the migration executor ({!System} owns the servers and the
+    directory). Called once at system creation when
+    {!Config.t.home_migration} is on; the callback returns whether the
+    line actually moved. *)
+
+val migrations : t -> int
+val migration_log : t -> (int * int) list
+(** [(line, target_logical_server)] decisions in decision order — pinned
+    by the seed-determinism test. *)
+
 (** {2 Crash recovery}
 
-    The manager owns the lease-based failure detector (the monitor
-    process lives in {!System}; it calls these). *)
+    The control plane owns the lease-based failure detector (the monitor
+    processes live in {!System}; they call these). *)
 
 val note_heartbeat : t -> unit
 (** One lease-renewal round trip to a memory server completed. *)
 
+val note_lease_expired : t -> unit
+
+val replay :
+  t -> dir:Directory.t -> servers:Memory_server.t array -> dead:int ->
+  promoted:int -> probe:Probe.t option -> now:Desim.Time.t -> int
+(** Replay this shard's surviving update-log entries onto promoted server
+    [promoted] for any line logically homed on [dead] whose replica is
+    behind its published version (publishing each replayed line through
+    [probe] with thread [-1]). Returns the number of replayed entries. *)
+
 val recover :
   t -> dir:Directory.t -> servers:Memory_server.t array -> dead:int ->
   probe:Probe.t option -> now:Desim.Time.t -> int * int
-(** Run the recovery protocol for failed physical server [dead]: expire
-    its lease, {!Directory.promote} its backup, replay surviving
-    update-log entries from the retained lock histories onto any promoted
-    line that is behind its published version (publishing each replayed
-    line through [probe] with thread [-1]), and reschedule threads parked
-    in {!Directory.await_recovery}. Returns
+(** Single-shard recovery for failed physical server [dead]: expire its
+    lease, {!Directory.promote} its backup, {!replay}, and reschedule
+    threads parked in {!Directory.await_recovery}. Returns
     [(promoted, replayed_entries)]. *)
+
+val absorb : t -> from:t -> now:Desim.Time.t -> int * int
+(** Shard takeover: move every sync object of dead shard [from] into this
+    shard and re-drive [from]'s stranded reply pushes from this shard's
+    endpoint. Returns [(objects_moved, pushes_redriven)]. *)
 
 val heartbeats : t -> int
 val leases_expired : t -> int
@@ -161,6 +217,6 @@ val replayed_updates : t -> int
 
 val acquire_request_wire : int
 val release_wire : log:Update.t list -> line_versions:(int * int) list -> int
-val notice_wire : (int * int) list -> int
+val notice_wire : ('a * 'b) list -> int
 val ack_wire : int
 val heartbeat_wire : int

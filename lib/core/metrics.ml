@@ -91,10 +91,14 @@ type replication = {
 
 let replication_of_system sys =
   let cfg = System.config sys in
-  if cfg.Config.replication = 0 && cfg.Config.crash_server = None then None
+  if
+    cfg.Config.replication = 0
+    && cfg.Config.crash_server = None
+    && cfg.Config.crash_shard = None
+  then None
   else
     let servers = System.servers sys in
-    let mgr = System.manager sys in
+    let cp = System.control_plane sys in
     let sum f = Array.fold_left (fun a s -> a + f s) 0 servers in
     Some
       { mirrored_writes = sum Memory_server.mirrors;
@@ -104,14 +108,48 @@ let replication_of_system sys =
           (match Fabric.Network.faults (System.network sys) with
            | None -> 0
            | Some f -> Fabric.Faults.messages_dead f);
-        heartbeats = Manager.heartbeats mgr;
-        leases_expired = Manager.leases_expired mgr;
+        heartbeats = Control_plane.heartbeats cp;
+        leases_expired = Control_plane.leases_expired cp;
         promotions = Directory.promotions (System.directory sys);
-        replayed_updates = Manager.replayed_updates mgr;
+        replayed_updates = Control_plane.replayed_updates cp;
         failover_waits =
           List.fold_left
             (fun a t -> a + Thread_ctx.failover_waits t)
             0 (System.threads sys) }
+
+type control = {
+  shards : int;
+  shard_heartbeats : int;  (** Inter-shard lease renewals completed. *)
+  takeovers : int;  (** Shard failures absorbed (at most 1 per run). *)
+  absorbed_objects : int;  (** Sync objects moved to the takeover shard. *)
+  redriven_pushes : int;  (** Stranded reply pushes re-driven at takeover. *)
+  migrations : int;  (** Home-page migrations executed. *)
+  rehomed_lines : int;  (** Lines living off their striped default home. *)
+}
+
+(* Control-plane counters are reported only when the run actually sharded
+   the control plane or migrated pages, so single-shard reports stay
+   byte-identical with the unsharded build. *)
+let control_of_system sys =
+  let cfg = System.config sys in
+  if cfg.Config.manager_shards = 1 && not cfg.Config.home_migration then None
+  else
+    let cp = System.control_plane sys in
+    Some
+      { shards = Control_plane.shard_count cp;
+        shard_heartbeats = Control_plane.shard_heartbeats cp;
+        takeovers = Control_plane.takeovers cp;
+        absorbed_objects = Control_plane.absorbed_objects cp;
+        redriven_pushes = Control_plane.redriven_pushes cp;
+        migrations = Control_plane.migrations cp;
+        rehomed_lines = Directory.rehomed (System.directory sys) }
+
+let pp_control ppf c =
+  Format.fprintf ppf
+    "control: shards=%d shard-heartbeats=%d takeovers=%d absorbed=%d \
+     redriven=%d migrations=%d rehomed=%d"
+    c.shards c.shard_heartbeats c.takeovers c.absorbed_objects
+    c.redriven_pushes c.migrations c.rehomed_lines
 
 let pp_replication ppf r =
   Format.fprintf ppf

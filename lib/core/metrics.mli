@@ -68,9 +68,29 @@ type replication = {
 
 val replication_of_system : System.t -> replication option
 (** [None] when the run had neither replication nor an injected crash
-    ([Config.replication = 0] and [Config.crash_server = None]). *)
+    ([Config.replication = 0], [Config.crash_server = None] and
+    [Config.crash_shard = None]). *)
 
 val pp_replication : Format.formatter -> replication -> unit
+
+(** Sharded-control-plane counters: inter-shard failure detection, shard
+    takeover, and home-page migration. *)
+type control = {
+  shards : int;
+  shard_heartbeats : int;  (** Inter-shard lease renewals completed. *)
+  takeovers : int;  (** Shard failures absorbed (at most 1 per run). *)
+  absorbed_objects : int;  (** Sync objects moved to the takeover shard. *)
+  redriven_pushes : int;  (** Stranded reply pushes re-driven at takeover. *)
+  migrations : int;  (** Home-page migrations executed. *)
+  rehomed_lines : int;  (** Lines living off their striped default home. *)
+}
+
+val control_of_system : System.t -> control option
+(** [None] when the control plane is unsharded and migration is off
+    ([manager_shards = 1] and [home_migration = false]), so classic runs
+    report byte-identically. *)
+
+val pp_control : Format.formatter -> control -> unit
 
 val pp_thread : Format.formatter -> thread -> unit
 val pp_aggregate : Format.formatter -> aggregate -> unit

@@ -5,7 +5,7 @@ type t = {
   network : Fabric.Network.t;
   servers : Memory_server.t array;
   dir : Directory.t;
-  manager : Manager.t;
+  cp : Control_plane.t;
   sc : Coherence_sc.t;
   san : Analysis.Regcsan.t option;
   total_threads : int;
@@ -16,53 +16,72 @@ type t = {
   mutable probe : Probe.t option;
 }
 
-(* The lease-based failure detector (active when replication is on): a
-   manager-owned process that, every [lease_interval], runs a heartbeat
-   round trip to each live memory server. The round trips ride the
-   retrying primitive, so a transient drop only delays renewal; a
-   fail-stop crash exhausts the retry budget and escalates to [Node_dead]
-   — the lease is expired and {!Manager.recover} promotes the backup,
-   replays surviving update logs and wakes parked threads. The monitor
-   exits once every spawned thread has finished (it must: a sleeping
-   process keeps the engine's queue non-empty forever). *)
-let spawn_lease_monitor t =
-  Desim.Engine.spawn t.engine ~name:"lease-monitor" (fun () ->
+(* The lease-based failure detector (active when replication is on): each
+   control-plane shard owns a monitor process that, every
+   [lease_interval], runs a heartbeat round trip to each live memory
+   server in its slice (servers are partitioned round-robin across
+   shards; with one shard that is every server, in index order — the
+   classic path). The round trips ride the retrying primitive, so a
+   transient drop only delays renewal; a fail-stop crash exhausts the
+   retry budget and escalates to [Node_dead] — the lease is expired and
+   {!Control_plane.recover_server} promotes the backup, replays the
+   surviving update logs of every shard and wakes parked threads. The
+   monitor exits once every spawned thread has finished (it must: a
+   sleeping process keeps the engine's queue non-empty forever), or when
+   its own host shard dies. *)
+let spawn_lease_monitor t ~shard:si ~subset =
+  let name =
+    if Control_plane.shard_count t.cp = 1 then "lease-monitor"
+    else Printf.sprintf "lease-monitor%d" si
+  in
+  Desim.Engine.spawn t.engine ~name (fun () ->
       let net = t.network in
-      let mgr_node = Fabric.Scl.node (Manager.endpoint t.manager) in
+      let sh = Control_plane.shard t.cp si in
+      let mgr_node = Fabric.Scl.node (Manager_shard.endpoint sh) in
+      let alive = ref true in
       let rec loop () =
         Desim.Engine.delay t.cfg.Config.lease_interval;
-        if t.finished < t.next_thread then begin
+        if
+          t.finished < t.next_thread
+          && !alive
+          && not (Control_plane.shard_failed t.cp si)
+        then begin
           let expired = ref None in
-          Array.iteri
-            (fun i srv ->
-               if !expired = None && not (Directory.failed t.dir i) then begin
+          List.iter
+            (fun i ->
+               if !expired = None && !alive && not (Directory.failed t.dir i)
+               then begin
                  let snode =
-                   Fabric.Scl.node (Memory_server.endpoint srv)
+                   Fabric.Scl.node (Memory_server.endpoint t.servers.(i))
                  in
                  try
                    let arrival =
                      Fabric.Scl.reliable_transfer net
                        ~now:(Desim.Engine.now t.engine)
                        ~src:mgr_node ~dst:snode
-                       ~bytes:Manager.heartbeat_wire
+                       ~bytes:Manager_shard.heartbeat_wire
                    in
                    ignore
                      (Fabric.Scl.reliable_transfer net ~now:arrival
-                        ~src:snode ~dst:mgr_node ~bytes:Manager.ack_wire
+                        ~src:snode ~dst:mgr_node
+                        ~bytes:Manager_shard.ack_wire
                       : Desim.Time.t);
-                   Manager.note_heartbeat t.manager
-                 with Fabric.Scl.Node_dead (_, give_up) ->
-                   expired := Some (i, give_up)
+                   Manager_shard.note_heartbeat sh
+                 with Fabric.Scl.Node_dead (n, give_up) ->
+                   (* If our own host shard crashed the transfer blames the
+                      source; the shard monitor owns that failure. *)
+                   if n = mgr_node then alive := false
+                   else expired := Some (i, give_up)
                end)
-            t.servers;
+            subset;
           (match !expired with
            | None -> ()
            | Some (i, give_up) ->
-             (* The manager knows at the give-up instant of its last
+             (* The shard knows at the give-up instant of its last
                 retransmission; detection, promotion, replay and wakeups
-                all land there (replay cost is charged to the manager's
-                service loop implicitly via the blocked threads' own
-                re-issued round trips). *)
+                all land there (replay cost is charged to the control
+                plane's service loops implicitly via the blocked threads'
+                own re-issued round trips). *)
              if Desim.Time.( < ) (Desim.Engine.now t.engine) give_up then
                Desim.Engine.delay
                  (Desim.Time.diff give_up (Desim.Engine.now t.engine));
@@ -72,29 +91,123 @@ let spawn_lease_monitor t =
                 p.Probe.on_crash ~time:now ~node:(1 + i) ~server:i
               | None -> ());
              let promoted, replayed =
-               Manager.recover t.manager ~dir:t.dir ~servers:t.servers
-                 ~dead:i ~probe:t.probe ~now
+               Control_plane.recover_server t.cp ~dir:t.dir
+                 ~servers:t.servers ~dead:i ~probe:t.probe ~now
+                 ~detecting:si
              in
              (match t.probe with
               | Some p ->
                 p.Probe.on_recovery ~time:now ~failed:i ~promoted ~replayed
               | None -> ()));
+          if !alive then loop ()
+        end
+      in
+      loop ())
+
+(* Shard-failure detector (active when the control plane is sharded):
+   shard 0 — which hosts allocation and is never killable — heartbeats
+   its peers every lease interval; a peer that exhausts the retry budget
+   is declared dead and the ring successor absorbs its slice
+   ({!Control_plane.recover_shard}). *)
+let spawn_shard_monitor t =
+  Desim.Engine.spawn t.engine ~name:"shard-monitor" (fun () ->
+      let net = t.network in
+      let n0 =
+        Fabric.Scl.node (Manager_shard.endpoint (Control_plane.shard t.cp 0))
+      in
+      let count = Control_plane.shard_count t.cp in
+      let rec loop () =
+        Desim.Engine.delay t.cfg.Config.lease_interval;
+        if
+          t.finished < t.next_thread
+          && not (Control_plane.any_shard_failed t.cp)
+        then begin
+          let dead = ref None in
+          for s = 1 to count - 1 do
+            if !dead = None then begin
+              let snode =
+                Fabric.Scl.node
+                  (Manager_shard.endpoint (Control_plane.shard t.cp s))
+              in
+              try
+                let arrival =
+                  Fabric.Scl.reliable_transfer net
+                    ~now:(Desim.Engine.now t.engine)
+                    ~src:n0 ~dst:snode ~bytes:Manager_shard.heartbeat_wire
+                in
+                ignore
+                  (Fabric.Scl.reliable_transfer net ~now:arrival ~src:snode
+                     ~dst:n0 ~bytes:Manager_shard.ack_wire
+                   : Desim.Time.t);
+                Control_plane.note_shard_heartbeat t.cp
+              with Fabric.Scl.Node_dead (_, give_up) ->
+                dead := Some (s, give_up)
+            end
+          done;
+          (match !dead with
+           | None -> ()
+           | Some (s, give_up) ->
+             if Desim.Time.( < ) (Desim.Engine.now t.engine) give_up then
+               Desim.Engine.delay
+                 (Desim.Time.diff give_up (Desim.Engine.now t.engine));
+             let now = Desim.Engine.now t.engine in
+             ignore
+               (Control_plane.recover_shard t.cp ~dead:s ~now
+                : int * int * int));
           loop ()
         end
       in
       loop ())
+
+(* Home-page migration executor: copy the line's current bytes and
+   version from the old home to the new one (and its mirror), repoint the
+   directory, and publish the unchanged version at the new home so a
+   probe's last-snapshot map follows the move. The copy is modeled as a
+   background transfer with no client-visible latency; what the
+   simulation measures is the locality change on subsequent fetches. *)
+let migrator t ~line ~target =
+  let cur = Directory.logical_of_line t.dir t.cfg ~line in
+  if cur = target then false
+  else begin
+    let src = t.servers.(Directory.physical_of_logical t.dir cur) in
+    let v = Memory_server.version src line in
+    if v = 0 then false (* never flushed: nothing to move *)
+    else begin
+      let dst_phys = Directory.physical_of_logical t.dir target in
+      let dst = t.servers.(dst_phys) in
+      let bytes = Config.line_bytes t.cfg in
+      Bytes.blit (Memory_server.line src line) 0
+        (Memory_server.line dst line) 0 bytes;
+      Memory_server.force_version dst line v;
+      (match Memory_server.backup dst with
+       | Some b ->
+         Bytes.blit (Memory_server.line src line) 0
+           (Memory_server.line b line) 0 bytes;
+         Memory_server.force_version b line v
+       | None -> ());
+      Directory.set_home t.dir ~line ~logical:target;
+      (match t.probe with
+       | Some p ->
+         p.Probe.on_publish ~thread:(-1)
+           ~time:(Desim.Engine.now t.engine)
+           ~server:dst_phys ~line ~version:v
+           ~data:(Memory_server.line dst line)
+       | None -> ());
+      true
+    end
+  end
 
 let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
   (match Config.validate config with
    | Ok () -> ()
    | Error msg -> invalid_arg ("System.create: " ^ msg));
   if threads <= 0 then invalid_arg "System.create: threads must be positive";
-  if threads > Config.max_threads then
+  if threads > config.Config.max_threads then
     invalid_arg
       (Printf.sprintf
-         "System.create: %d threads requested but at most %d are supported \
-          (thread ids must fit the sharer/writer bitmasks)"
-         threads Config.max_threads);
+         "System.create: %d threads requested but config.max_threads = %d \
+          (raise the max_threads field to run larger systems)"
+         threads config.Config.max_threads);
   let tie_break =
     if config.Config.shuffle then
       Some (Desim.Engine.shuffle_tie_break ~seed:config.Config.seed)
@@ -103,16 +216,29 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
   let engine = Desim.Engine.create ~trace ?tie_break () in
   let ms = config.Config.memory_servers in
   let tpn = config.Config.threads_per_node in
+  let nshards = config.Config.manager_shards in
   let compute_nodes = (threads + tpn - 1) / tpn in
-  let node_count = 1 + ms + compute_nodes in
-  (* Crash spec: memory server [srv] lives on fabric node [1 + srv]. A
-     fault policy is attached exactly when the level is on or a crash is
-     injected, so the default configuration's fabric stays byte-exact with
-     the seed build. *)
+  (* Node map: 0 = manager shard 0, 1..ms = memory servers, then compute
+     nodes, then shards 1..N-1 on trailing nodes. With one shard this is
+     exactly the historical map. *)
+  let node_count = 1 + ms + compute_nodes + (nshards - 1) in
+  let first_compute_node = 1 + ms in
+  let shard_node s =
+    if s = 0 then
+      (* §V future work: a single-node system can synchronize locally. *)
+      if config.Config.manager_bypass then first_compute_node else 0
+    else 1 + ms + compute_nodes + (s - 1)
+  in
+  (* Crash spec: memory server [srv] lives on fabric node [1 + srv];
+     manager shard [s] lives on [shard_node s]. A fault policy is
+     attached exactly when the level is on or a crash is injected, so the
+     default configuration's fabric stays byte-exact with the seed
+     build. *)
   let crash =
-    match config.Config.crash_server with
-    | Some (srv, at) -> Some (1 + srv, Desim.Time.of_ns at)
-    | None -> None
+    match (config.Config.crash_server, config.Config.crash_shard) with
+    | Some (srv, at), _ -> Some (1 + srv, Desim.Time.of_ns at)
+    | None, Some (s, at) -> Some (shard_node s, Desim.Time.of_ns at)
+    | None, None -> None
   in
   let faults =
     match (config.Config.fault_level, crash) with
@@ -125,15 +251,13 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
       ~node_count
   in
   let layout = Layout.of_config config in
-  let first_compute_node = 1 + ms in
-  let manager_node =
-    (* §V future work: a single-node system can synchronize locally. *)
-    if config.Config.manager_bypass then first_compute_node else 0
+  let shard_nodes = Array.init nshards shard_node in
+  let shards =
+    Array.init nshards (fun s ->
+        Manager_shard.create config layout ~engine
+          ~endpoint:(Fabric.Scl.endpoint network shard_nodes.(s)))
   in
-  let manager =
-    Manager.create config layout ~engine
-      ~endpoint:(Fabric.Scl.endpoint network manager_node)
-  in
+  let cp = Control_plane.create config ~engine ~shards ~nodes:shard_nodes in
   let servers =
     Array.init ms (fun i ->
         Memory_server.create config layout ~id:i
@@ -152,8 +276,8 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
       network;
       servers;
       dir;
-      manager;
-      sc = Coherence_sc.create ();
+      cp;
+      sc = Coherence_sc.create ~max_threads:config.Config.max_threads ();
       san =
         (if config.Config.sanitize then
            Some
@@ -167,14 +291,27 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
       finished = 0;
       probe = None }
   in
-  if config.Config.replication >= 1 then spawn_lease_monitor t;
+  if config.Config.home_migration then
+    Array.iter (fun sh -> Manager_shard.set_migrator sh (migrator t)) shards;
+  if config.Config.replication >= 1 then
+    (* Servers are partitioned round-robin across shards; every shard
+       with a non-empty slice runs its own lease monitor. With one shard
+       that is the single classic monitor over all servers. *)
+    for s = 0 to nshards - 1 do
+      let subset =
+        List.filter (fun i -> i mod nshards = s) (List.init ms Fun.id)
+      in
+      if subset <> [] then spawn_lease_monitor t ~shard:s ~subset
+    done;
+  if nshards > 1 then spawn_shard_monitor t;
   t
 
 let config t = t.cfg
 let layout t = t.layout
 let engine t = t.engine
 let network t = t.network
-let manager t = t.manager
+let control_plane t = t.cp
+let manager t = Control_plane.shard t.cp 0
 let servers t = t.servers
 let directory t = t.dir
 let total_threads t = t.total_threads
@@ -187,9 +324,9 @@ let set_probe t probe =
 
 let probe t = t.probe
 
-let mutex t = Manager.lock_create t.manager
-let barrier t ~parties = Manager.barrier_create t.manager ~parties
-let cond t = Manager.cond_create t.manager
+let mutex t = Control_plane.mutex_create t.cp
+let barrier t ~parties = Control_plane.barrier_create t.cp ~parties
+let cond t = Control_plane.cond_create t.cp
 
 let env t : Thread_ctx.env =
   { Thread_ctx.cfg = t.cfg;
@@ -198,7 +335,7 @@ let env t : Thread_ctx.env =
     network = t.network;
     servers = t.servers;
     dir = t.dir;
-    manager = t.manager;
+    cp = t.cp;
     sc = t.sc;
     san = t.san;
     probe = t.probe }

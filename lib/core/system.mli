@@ -1,13 +1,15 @@
-(** Assembling a Samhita instance: fabric, memory servers, manager and
-    compute threads (Figure 1 of the paper).
+(** Assembling a Samhita instance: fabric, memory servers, control plane
+    and compute threads (Figure 1 of the paper).
 
-    Node layout mirrors the testbed: node 0 runs the manager, nodes
-    [1 .. memory_servers] run memory servers, and compute threads pack onto
+    Node layout mirrors the testbed: node 0 runs manager shard 0, nodes
+    [1 .. memory_servers] run memory servers, compute threads pack onto
     subsequent nodes, [threads_per_node] per node (so threads on one node
     share that node's fabric ports, contending exactly where an 8-core
-    Penryn node's HCA would). With [Config.manager_bypass] the manager is
-    co-located with the first compute node — the paper's §V single-node
-    optimization — turning synchronization round trips into loopbacks. *)
+    Penryn node's HCA would), and manager shards [1 .. N-1] occupy
+    trailing nodes when [Config.manager_shards > 1]. With
+    [Config.manager_bypass] the (single) manager shard is co-located with
+    the first compute node — the paper's §V single-node optimization —
+    turning synchronization round trips into loopbacks. *)
 
 type t
 
@@ -15,13 +17,19 @@ val create :
   ?trace:Desim.Trace.t -> ?config:Config.t -> threads:int -> unit -> t
 (** Build a system able to host [threads] compute threads. Raises
     [Invalid_argument] if the configuration fails {!Config.validate} or if
-    [threads] exceeds {!Config.max_threads}. *)
+    [threads] exceeds the configuration's [max_threads] field. *)
 
 val config : t -> Config.t
 val layout : t -> Layout.t
 val engine : t -> Desim.Engine.t
 val network : t -> Fabric.Network.t
-val manager : t -> Manager.t
+
+val control_plane : t -> Control_plane.t
+(** The sharded control plane facade (a single shard by default). *)
+
+val manager : t -> Manager_shard.t
+(** Shard 0 — the full control plane when [manager_shards = 1]. *)
+
 val servers : t -> Memory_server.t array
 
 val directory : t -> Directory.t
@@ -41,11 +49,11 @@ val set_probe : t -> Probe.t -> unit
 
 val probe : t -> Probe.t option
 
-val mutex : t -> Manager.lock_id
+val mutex : t -> Manager_shard.lock_id
 (** Create a mutex (setup-time operation; no simulated cost). *)
 
-val barrier : t -> parties:int -> Manager.barrier_id
-val cond : t -> Manager.cond_id
+val barrier : t -> parties:int -> Manager_shard.barrier_id
+val cond : t -> Manager_shard.cond_id
 
 val spawn : t -> (Thread_ctx.t -> unit) -> Thread_ctx.t
 (** Create the next compute thread and schedule its body as a simulation

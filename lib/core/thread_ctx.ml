@@ -7,7 +7,9 @@ type env = {
   dir : Directory.t;
       (** Logical-to-physical stripe map (identity until a recovery
           promotes a backup). *)
-  manager : Manager.t;
+  cp : Control_plane.t;
+      (** The sharded control plane; sync objects resolve to their shard
+          per request, so a shard takeover is picked up transparently. *)
   sc : Coherence_sc.t;  (** Directory for the Sc_invalidate model. *)
   san : Analysis.Regcsan.t option;
       (** RegCSan access-stream analyzer ([Config.sanitize]). *)
@@ -30,9 +32,13 @@ type t = {
   mutable last : Cache.entry option;
   (* Held locks, innermost first, each with its consistency-region store
      log (newest store first). *)
-  mutable held : (Manager.lock_id * Update.t list ref) list;
+  mutable held : (Manager_shard.lock_id * Update.t list ref) list;
   (* Last lock version integrated, per lock. *)
-  lock_seen : (Manager.lock_id, int) Hashtbl.t;
+  lock_seen : (Manager_shard.lock_id, int) Hashtbl.t;
+  (* Per-lock release sequence numbers: each release carries the next
+     number so a shard-crash retry of the same release is recognized as a
+     duplicate and not double-applied. *)
+  release_seq : (Manager_shard.lock_id, int) Hashtbl.t;
   (* Lines this thread flushed as ordinary-region diffs (at consistency
      points or evictions) since its last barrier. Reported as write notices
      at the next barrier so every other thread invalidates its stale
@@ -67,6 +73,7 @@ let create e ~id ~node =
       last = None;
       held = [];
       lock_seen = Hashtbl.create 8;
+      release_seq = Hashtbl.create 8;
       interval_writes = Hashtbl.create 16;
       m_compute = 0;
       m_sync = 0;
@@ -183,6 +190,28 @@ let rec with_failover t f =
           Directory.await_recovery t.e.dir ~wake);
     with_failover t f
 
+(* The control-plane analogue: absorb a fail-stop crash of a manager
+   shard. Wait out the paid retransmission timeouts, park until the shard
+   monitor's takeover repoints the shard map (unless it already has), then
+   re-run [f] — which re-resolves its shard through the control plane and
+   lands on the ring successor. Every shard RPC below is idempotent under
+   retry (holder re-grants, release sequence numbers, barrier epoch
+   replay), so a request that executed before the crash is not
+   double-applied. *)
+let rec with_shard_failover t f =
+  try f () with
+  | Fabric.Scl.Node_dead (node, at)
+    when Control_plane.shard_node_of t.e.cp node <> None ->
+    (match Control_plane.shard_node_of t.e.cp node with
+     | None -> assert false
+     | Some logical ->
+       t.m_failovers <- t.m_failovers + 1;
+       if Desim.Time.( < ) (now t) at then delay_until t at;
+       if not (Control_plane.shard_failed t.e.cp logical) then
+         Desim.Engine.suspend ~register:(fun ~wake ->
+             Control_plane.await_shard_recovery t.e.cp ~wake);
+       with_shard_failover t f)
+
 (* Framing of a primary-to-backup mirror message beyond its payload. *)
 let mirror_overhead_wire = 32
 
@@ -214,7 +243,7 @@ let replicate_ready t srv ~at ~payload_bytes =
          in
          let ack =
            Fabric.Scl.reliable_transfer t.e.network ~now:m_served ~src:bnode
-             ~dst:pnode ~bytes:Manager.ack_wire
+             ~dst:pnode ~bytes:Manager_shard.ack_wire
          in
          (ack, true)
        with Fabric.Scl.Node_dead (n, give_up) when n = bnode ->
@@ -349,6 +378,11 @@ let flush_entry t (entry : Cache.entry) =
               transfer_from t ~src:sep ~at:ready ~bytes:diff_reply_wire
             in
             delay_until t reply;
+            (* Re-resolve at apply time: a home migration may have moved
+               the line while the round trip was in flight; the diff must
+               land at the line's current home or it would be lost in the
+               migration copy. Without migration this is [srv]. *)
+            let srv = server_of t entry.Cache.line in
             let v = Memory_server.apply_diff srv diff in
             if mirrored then begin
               mirror_diff srv diff ~version:v;
@@ -384,7 +418,10 @@ let flush_dirty_all t =
            if Diff.is_empty diff then
              Cache.clean t.cache entry ~version:entry.Cache.version
            else begin
-             let s = Home.server_of_line t.e.cfg ~line:entry.Cache.line in
+             let s =
+               Directory.logical_of_line t.e.dir t.e.cfg
+                 ~line:entry.Cache.line
+             in
              let existing =
                Option.value (Hashtbl.find_opt by_server s) ~default:[]
              in
@@ -428,6 +465,11 @@ let flush_dirty_all t =
              if mirrored then Memory_server.note_mirror srv ~bytes:payload;
              List.map
                (fun ((entry : Cache.entry), diff) ->
+                  (* Per-line re-resolve at apply time: a concurrent home
+                     migration moves the line's home mid-flight; the diff
+                     must land at the current home (equals [srv] when no
+                     migration ran). *)
+                  let srv = server_of t entry.Cache.line in
                   let v = Memory_server.apply_diff srv diff in
                   if mirrored then mirror_diff srv diff ~version:v;
                   probe_publish t ~srv ~line:entry.Cache.line ~version:v;
@@ -512,7 +554,7 @@ let sc_invalidate_sharers t ~line ~now =
          let ack =
            Fabric.Network.transfer t.e.network ~now:inv
              ~src:p.Coherence_sc.p_node ~dst:server_node
-             ~bytes:Manager.ack_wire
+             ~bytes:Manager_shard.ack_wire
          in
          p.Coherence_sc.p_invalidate line;
          Coherence_sc.drop_sharer t.e.sc ~line ~thread:s;
@@ -665,7 +707,7 @@ let sc_acquire_exclusive t line ~commit : Cache.entry =
   let cached = Cache.peek t.cache line in
   let reply_bytes =
     match cached with
-    | Some _ -> Manager.ack_wire  (* upgrade: data already valid *)
+    | Some _ -> Manager_shard.ack_wire  (* upgrade: data already valid *)
     | None -> t.e.layout.Layout.line_bytes + fetch_reply_overhead
   in
   let entry =
@@ -913,17 +955,19 @@ let held_locks t = List.map fst t.held
 (* ------------------------------------------------------------------ *)
 (* Allocation                                                          *)
 
+(* Allocation is served by shard 0 (never killable), so the RPC needs no
+   failover wrapper. *)
 let manager_alloc_rpc t ~kind ~bytes =
-  let mgr = t.e.manager in
-  let mep = Manager.endpoint mgr in
+  let mgr = Control_plane.alloc_shard t.e.cp in
+  let mep = Manager_shard.endpoint mgr in
   let arrival = transfer_to t ~dst:mep ~bytes:alloc_request_wire in
   let served =
-    Desim.Resource.reserve (Manager.service mgr) ~now:arrival
+    Desim.Resource.reserve (Manager_shard.service mgr) ~now:arrival
       ~duration:t.e.cfg.Config.manager_service
   in
   let reply = transfer_from t ~src:mep ~at:served ~bytes:alloc_reply_wire in
   delay_until t reply;
-  Manager.alloc mgr ~kind ~bytes
+  Manager_shard.alloc mgr ~kind ~bytes
 
 let rec malloc_impl t ~bytes =
   if bytes <= 0 then invalid_arg "Samhita.malloc: bytes must be positive";
@@ -996,13 +1040,12 @@ let apply_notices t notices =
          Cache.invalidate t.cache line)
     notices
 
-(* Writer-mask invalidation (barrier path): drop any cached line written by
+(* Writer-set invalidation (barrier path): drop any cached line written by
    another thread this interval; only the home holds the merge. *)
 let apply_writer_notices t notices =
-  let self = 1 lsl t.id in
   List.iter
-    (fun (line, mask) ->
-       if mask land lnot self <> 0 then begin
+    (fun (line, writers) ->
+       if Tset.exists_other writers ~self:t.id then begin
          (match Cache.peek t.cache line with
           | Some entry ->
             forget_last t entry;
@@ -1013,11 +1056,11 @@ let apply_writer_notices t notices =
        end)
     notices
 
-let apply_grant t (g : Manager.grant) =
-  match g.Manager.action with
-  | Manager.Fresh -> ()
-  | Manager.Notices ns -> apply_notices t ns
-  | Manager.Patch (log, _line_versions) ->
+let apply_grant t (g : Manager_shard.grant) =
+  match g.Manager_shard.action with
+  | Manager_shard.Fresh -> ()
+  | Manager_shard.Notices ns -> apply_notices t ns
+  | Manager_shard.Patch (log, _line_versions) ->
     (* The aggregated log spans (last_seen, current]: its final absolute
        value per byte is the value as of the lock's current version, i.e.
        the newest value any release produced, so unconditional oldest-first
@@ -1058,7 +1101,7 @@ let flush_update_log t log =
     List.iter
       (fun (u : Update.t) ->
          let line = List.hd (Update.lines_touched t.e.layout u) in
-         let s = Home.server_of_line t.e.cfg ~line in
+         let s = Directory.logical_of_line t.e.dir t.e.cfg ~line in
          let existing =
            Option.value (Hashtbl.find_opt by_server s) ~default:[]
          in
@@ -1094,6 +1137,12 @@ let flush_update_log t log =
              if mirrored then Memory_server.note_mirror srv ~bytes:wire;
              List.iter
                (fun u ->
+                  (* Re-resolve at apply time (see {!flush_dirty_all}): a
+                     concurrent home migration must not strand the update
+                     at the old home. *)
+                  let srv =
+                    server_of t (List.hd (Update.lines_touched t.e.layout u))
+                  in
                   let lvs = Memory_server.apply_update srv u in
                   if mirrored then
                     mirror_update t srv u ~line_versions:lvs;
@@ -1131,39 +1180,56 @@ let mutex_lock t lock =
   let last_seen =
     Option.value (Hashtbl.find_opt t.lock_seen lock) ~default:0
   in
-  let mgr = t.e.manager in
-  let mep = Manager.endpoint mgr in
   let grant =
-    Desim.Engine.suspendv ~register:(fun ~wake ->
-        let arrival =
-          transfer_to t ~dst:mep ~bytes:Manager.acquire_request_wire
-        in
-        let served =
-          Desim.Resource.reserve (Manager.service mgr) ~now:arrival
-            ~duration:t.e.cfg.Config.manager_service
-        in
+    with_shard_failover t (fun () ->
+        let mgr = Control_plane.shard_for t.e.cp lock in
+        let mep = Manager_shard.endpoint mgr in
+        (* The one-shot continuation is threaded through an [Ok]/[Error]
+           result: if a transfer leg dies with the shard, the continuation
+           is consumed with [Error] at the give-up instant and the crash
+           re-raised outside — never leaked, never resumed twice. *)
         match
-          Manager.lock_acquire mgr ~now:served ~lock ~thread:t.id ~last_seen
-            ~endpoint:t.endpoint ~wake
+          Desim.Engine.suspendv ~register:(fun ~wake ->
+              try
+                let arrival =
+                  transfer_to t ~dst:mep
+                    ~bytes:Manager_shard.acquire_request_wire
+                in
+                let served =
+                  Desim.Resource.reserve (Manager_shard.service mgr)
+                    ~now:arrival ~duration:t.e.cfg.Config.manager_service
+                in
+                match
+                  Manager_shard.lock_acquire mgr ~now:served ~lock
+                    ~thread:t.id ~last_seen ~endpoint:t.endpoint
+                    ~wake:(fun g -> wake (Ok g))
+                with
+                | `Granted g ->
+                  let reply =
+                    transfer_from t ~src:mep ~at:served
+                      ~bytes:g.Manager_shard.wire_bytes
+                  in
+                  Desim.Engine.schedule_at t.e.engine reply (fun () ->
+                      wake (Ok g))
+                | `Queued -> ()
+              with Fabric.Scl.Node_dead (n, at) ->
+                Desim.Engine.schedule_at t.e.engine at (fun () ->
+                    wake (Error (n, at))))
         with
-        | `Granted g ->
-          let reply =
-            transfer_from t ~src:mep ~at:served ~bytes:g.Manager.wire_bytes
-          in
-          Desim.Engine.schedule_at t.e.engine reply (fun () -> wake g)
-        | `Queued -> ())
+        | Ok g -> g
+        | Error (n, at) -> raise (Fabric.Scl.Node_dead (n, at)))
   in
   if traced t then
     trace t ~tag:"acquire" "t%d lock=%d v=%d action=%s" t.id lock
-      grant.Manager.lock_version
-      (match grant.Manager.action with
-       | Manager.Fresh -> "fresh"
-       | Manager.Patch (log, _) ->
+      grant.Manager_shard.lock_version
+      (match grant.Manager_shard.action with
+       | Manager_shard.Fresh -> "fresh"
+       | Manager_shard.Patch (log, _) ->
          Printf.sprintf "patch(%d updates)" (List.length log)
-       | Manager.Notices ns ->
+       | Manager_shard.Notices ns ->
          Printf.sprintf "notices(%d lines)" (List.length ns));
   apply_grant t grant;
-  Hashtbl.replace t.lock_seen lock grant.Manager.lock_version;
+  Hashtbl.replace t.lock_seen lock grant.Manager_shard.lock_version;
   (match t.e.san with
    | None -> ()
    | Some s ->
@@ -1188,22 +1254,30 @@ let mutex_unlock t lock =
     | None -> invalid_arg "Samhita.mutex_unlock: lock not held by thread"
   in
   let line_versions = flush_update_log t log in
-  let mgr = t.e.manager in
-  let mep = Manager.endpoint mgr in
-  let wire = Manager.release_wire ~log ~line_versions in
-  let arrival = transfer_to t ~dst:mep ~bytes:wire in
-  let served =
-    Desim.Resource.reserve (Manager.service mgr) ~now:arrival
-      ~duration:t.e.cfg.Config.manager_service
-  in
-  Manager.lock_release mgr ~now:served ~lock ~thread:t.id ~log ~line_versions;
-  if traced t then
-    trace t ~tag:"release" "t%d lock=%d updates=%d lines=%d" t.id lock
-      (List.length log)
-      (List.length line_versions);
-  Hashtbl.replace t.lock_seen lock (Manager.lock_version mgr lock);
-  let reply = transfer_from t ~src:mep ~at:served ~bytes:Manager.ack_wire in
-  delay_until t reply;
+  let wire = Manager_shard.release_wire ~log ~line_versions in
+  (* The release carries a per-lock sequence number so a shard-crash
+     retry that already executed is a no-op at the takeover shard. *)
+  let seq = 1 + Option.value (Hashtbl.find_opt t.release_seq lock) ~default:0 in
+  Hashtbl.replace t.release_seq lock seq;
+  with_shard_failover t (fun () ->
+      let mgr = Control_plane.shard_for t.e.cp lock in
+      let mep = Manager_shard.endpoint mgr in
+      let arrival = transfer_to t ~dst:mep ~bytes:wire in
+      let served =
+        Desim.Resource.reserve (Manager_shard.service mgr) ~now:arrival
+          ~duration:t.e.cfg.Config.manager_service
+      in
+      Manager_shard.lock_release mgr ~seq ~now:served ~lock ~thread:t.id ~log
+        ~line_versions;
+      if traced t then
+        trace t ~tag:"release" "t%d lock=%d updates=%d lines=%d" t.id lock
+          (List.length log)
+          (List.length line_versions);
+      Hashtbl.replace t.lock_seen lock (Manager_shard.lock_version mgr lock);
+      let reply =
+        transfer_from t ~src:mep ~at:served ~bytes:Manager_shard.ack_wire
+      in
+      delay_until t reply);
   probe_sync t (Probe.Unlock lock);
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
 
@@ -1213,15 +1287,17 @@ let barrier_wait t barrier =
   ignore (flush_dirty_all t : (int * int) list);
   let lines = Hashtbl.fold (fun l () acc -> l :: acc) t.interval_writes [] in
   Hashtbl.reset t.interval_writes;
-  let mgr = t.e.manager in
-  let mep = Manager.endpoint mgr in
   let wire = barrier_arrive_overhead + (8 * List.length lines) in
-  (* The manager bumps the epoch when it releases the barrier, so every
-     participant captures the same epoch number before arriving. *)
-  let epoch =
-    if t.e.san = None && t.e.probe = None then -1
-    else Manager.barrier_epoch mgr barrier
+  (* The shard bumps the epoch when it releases the barrier, so every
+     participant captures the same epoch number before arriving. The
+     capture also keys the shard-crash retry: an arrival whose episode
+     already released replays that episode's notices instead of bleeding
+     into the next one. *)
+  let aepoch =
+    Manager_shard.barrier_epoch (Control_plane.shard_for t.e.cp barrier)
+      barrier
   in
+  let epoch = if t.e.san = None && t.e.probe = None then -1 else aepoch in
   (match t.e.san with
    | None -> ()
    | Some s ->
@@ -1232,21 +1308,35 @@ let barrier_wait t barrier =
      p.Probe.on_barrier ~thread:t.id ~time:(now t) ~barrier ~epoch
        ~phase:`Arrive);
   let all, _reply_wire =
-    Desim.Engine.suspendv ~register:(fun ~wake ->
-        let arrival = transfer_to t ~dst:mep ~bytes:wire in
-        let served =
-          Desim.Resource.reserve (Manager.service mgr) ~now:arrival
-            ~duration:t.e.cfg.Config.manager_service
-        in
+    with_shard_failover t (fun () ->
+        let mgr = Control_plane.shard_for t.e.cp barrier in
+        let mep = Manager_shard.endpoint mgr in
         match
-          Manager.barrier_arrive mgr ~now:served ~barrier ~thread:t.id
-            ~lines ~endpoint:t.endpoint ~wake
+          Desim.Engine.suspendv ~register:(fun ~wake ->
+              try
+                let arrival = transfer_to t ~dst:mep ~bytes:wire in
+                let served =
+                  Desim.Resource.reserve (Manager_shard.service mgr)
+                    ~now:arrival ~duration:t.e.cfg.Config.manager_service
+                in
+                match
+                  Manager_shard.barrier_arrive mgr ~epoch:aepoch ~now:served
+                    ~barrier ~thread:t.id ~lines ~endpoint:t.endpoint
+                    ~wake:(fun r -> wake (Ok r))
+                with
+                | `Released (all, reply_wire) ->
+                  let reply =
+                    transfer_from t ~src:mep ~at:served ~bytes:reply_wire
+                  in
+                  Desim.Engine.schedule_at t.e.engine reply (fun () ->
+                      wake (Ok (all, reply_wire)))
+                | `Wait -> ()
+              with Fabric.Scl.Node_dead (n, at) ->
+                Desim.Engine.schedule_at t.e.engine at (fun () ->
+                    wake (Error (n, at))))
         with
-        | `Released (all, reply_wire) ->
-          let reply = transfer_from t ~src:mep ~at:served ~bytes:reply_wire in
-          Desim.Engine.schedule_at t.e.engine reply (fun () ->
-              wake (all, reply_wire))
-        | `Wait -> ())
+        | Ok r -> r
+        | Error (n, at) -> raise (Fabric.Scl.Node_dead (n, at)))
   in
   if traced t then
     trace t ~tag:"barrier" "t%d barrier=%d notices=%d" t.id barrier
@@ -1265,17 +1355,17 @@ let barrier_wait t barrier =
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
 
 let cond_wait t cond lock =
-  let mgr = t.e.manager in
-  let mep = Manager.endpoint mgr in
+  let mgr = Control_plane.shard_for t.e.cp cond in
+  let mep = Manager_shard.endpoint mgr in
   (* POSIX requires releasing the mutex and starting the wait to be one
-     atomic step, so the waiter registers with the manager before the
+     atomic step, so the waiter registers with the shard before the
      release. Registering after the release's ack round trip (as an
      earlier version did) leaves a window where another thread can
      acquire, signal and release while we are still in flight — the
      signal finds no waiter and the wakeup is lost. The latch handles a
      signal that lands before we manage to suspend. *)
   let state = ref `Armed in
-  Manager.cond_wait mgr ~cond ~thread:t.id ~endpoint:t.endpoint
+  Manager_shard.cond_wait mgr ~cond ~thread:t.id ~endpoint:t.endpoint
     ~wake:(fun () ->
         match !state with
         | `Suspended wake -> wake ()
@@ -1286,12 +1376,19 @@ let cond_wait t cond lock =
    | `Signalled -> ()
    | _ ->
      Desim.Engine.suspendv ~register:(fun ~wake ->
-         let arrival = transfer_to t ~dst:mep ~bytes:cond_request_wire in
-         let served =
-           Desim.Resource.reserve (Manager.service mgr) ~now:arrival
-             ~duration:t.e.cfg.Config.manager_service
-         in
-         ignore (served : Desim.Time.t);
+         (* The waiter is already registered (the direct call above); this
+            round trip only models the wait notification's wire cost. If
+            the shard died mid-flight the cost is forfeited but the wake
+            path stays intact: the registration travels with the absorbed
+            state and a signal on the takeover shard fires it. *)
+         (try
+            let arrival = transfer_to t ~dst:mep ~bytes:cond_request_wire in
+            let served =
+              Desim.Resource.reserve (Manager_shard.service mgr) ~now:arrival
+                ~duration:t.e.cfg.Config.manager_service
+            in
+            ignore (served : Desim.Time.t)
+          with Fabric.Scl.Node_dead _ -> ());
          state := `Suspended wake));
   (match t.e.san with
    | None -> ()
@@ -1307,20 +1404,26 @@ let cond_wake_op t cond ~broadcast =
    | Some s -> Analysis.Regcsan.on_cond_signal s ~thread:t.id ~cond);
   probe_sync t (Probe.Cond_signal cond);
   let start = now t in
-  let mgr = t.e.manager in
-  let mep = Manager.endpoint mgr in
-  let arrival = transfer_to t ~dst:mep ~bytes:cond_request_wire in
-  let served =
-    Desim.Resource.reserve (Manager.service mgr) ~now:arrival
-      ~duration:t.e.cfg.Config.manager_service
-  in
-  let woken =
-    if broadcast then Manager.cond_broadcast mgr ~now:served ~cond
-    else Manager.cond_signal mgr ~now:served ~cond
-  in
-  ignore (woken : int);
-  let reply = transfer_from t ~src:mep ~at:served ~bytes:Manager.ack_wire in
-  delay_until t reply;
+  (* A shard-crash retry whose first attempt already signalled can wake a
+     second waiter — a spurious wakeup, benign under the pthreads
+     contract (waiters re-check their predicate in a loop). *)
+  with_shard_failover t (fun () ->
+      let mgr = Control_plane.shard_for t.e.cp cond in
+      let mep = Manager_shard.endpoint mgr in
+      let arrival = transfer_to t ~dst:mep ~bytes:cond_request_wire in
+      let served =
+        Desim.Resource.reserve (Manager_shard.service mgr) ~now:arrival
+          ~duration:t.e.cfg.Config.manager_service
+      in
+      let woken =
+        if broadcast then Manager_shard.cond_broadcast mgr ~now:served ~cond
+        else Manager_shard.cond_signal mgr ~now:served ~cond
+      in
+      ignore (woken : int);
+      let reply =
+        transfer_from t ~src:mep ~at:served ~bytes:Manager_shard.ack_wire
+      in
+      delay_until t reply);
   t.m_sync <- t.m_sync + Desim.Time.diff (now t) start
 
 let cond_signal t cond = cond_wake_op t cond ~broadcast:false

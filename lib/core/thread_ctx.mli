@@ -33,7 +33,9 @@ type env = {
   dir : Directory.t;
       (** Logical-to-physical stripe map; identity until a crash recovery
           promotes a backup ({!Directory}). *)
-  manager : Manager.t;
+  cp : Control_plane.t;
+      (** The sharded control plane; sync objects resolve to their shard
+          per request, so a shard takeover is picked up transparently. *)
   sc : Coherence_sc.t;  (** Directory for the Sc_invalidate model. *)
   san : Analysis.Regcsan.t option;
       (** RegCSan access-stream analyzer; [None] (the default) costs one
@@ -108,20 +110,20 @@ val free : t -> addr:int -> bytes:int -> unit
 
 (** {2 Synchronization (with RegC consistency actions)} *)
 
-val mutex_lock : t -> Manager.lock_id -> unit
-val mutex_unlock : t -> Manager.lock_id -> unit
-val barrier_wait : t -> Manager.barrier_id -> unit
+val mutex_lock : t -> Manager_shard.lock_id -> unit
+val mutex_unlock : t -> Manager_shard.lock_id -> unit
+val barrier_wait : t -> Manager_shard.barrier_id -> unit
 
-val cond_wait : t -> Manager.cond_id -> Manager.lock_id -> unit
+val cond_wait : t -> Manager_shard.cond_id -> Manager_shard.lock_id -> unit
 (** Pthreads semantics: atomically releases the mutex and sleeps;
     re-acquires before returning. *)
 
-val cond_signal : t -> Manager.cond_id -> unit
-val cond_broadcast : t -> Manager.cond_id -> unit
+val cond_signal : t -> Manager_shard.cond_id -> unit
+val cond_broadcast : t -> Manager_shard.cond_id -> unit
 
 val in_consistency_region : t -> bool
 
-val held_locks : t -> Manager.lock_id list
+val held_locks : t -> Manager_shard.lock_id list
 (** Locks the thread currently holds, innermost first. RegCCheck's
     deadlock detector combines this with {!Manager}'s waiter introspection
     to build the wait-for graph of a stalled branch. *)
@@ -144,5 +146,6 @@ val lock_acquires : t -> int
 val barrier_waits : t -> int
 
 val failover_waits : t -> int
-(** Times this thread hit a dead memory server and re-ran the interaction
-    through the directory (after parking for recovery if needed). *)
+(** Times this thread hit a dead memory server or manager shard and re-ran
+    the interaction through the directory / control plane (after parking
+    for recovery if needed). *)

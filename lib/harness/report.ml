@@ -25,6 +25,7 @@ type t = {
   san : Analysis.Regcsan.t option;
   faults : Samhita.Metrics.faults option;
   repl : Samhita.Metrics.replication option;
+  ctl : Samhita.Metrics.control option;
 }
 
 let of_system sys =
@@ -43,16 +44,14 @@ let of_system sys =
               (Samhita.Memory_server.service srv)
               ~horizon:wall })
   in
-  let manager = Samhita.System.manager sys in
+  let cp = Samhita.System.control_plane sys in
   { wall;
     net_messages = Fabric.Network.messages net;
     net_bytes = Fabric.Network.bytes_carried net;
     servers;
-    manager_util =
-      Desim.Resource.utilization (Samhita.Manager.service manager)
-        ~horizon:wall;
-    manager_jobs = Desim.Resource.jobs (Samhita.Manager.service manager);
-    gas_used = Samhita.Manager.gas_used manager;
+    manager_util = Samhita.Control_plane.service_utilization cp ~horizon:wall;
+    manager_jobs = Samhita.Control_plane.service_jobs cp;
+    gas_used = Samhita.Control_plane.gas_used cp;
     threads =
       List.map
         (fun ctx ->
@@ -63,7 +62,8 @@ let of_system sys =
         (Samhita.System.threads sys);
     san = Samhita.System.sanitizer sys;
     faults = Samhita.Metrics.faults_of_system sys;
-    repl = Samhita.Metrics.replication_of_system sys }
+    repl = Samhita.Metrics.replication_of_system sys;
+    ctl = Samhita.Metrics.control_of_system sys }
 
 let fabric_bytes t = t.net_bytes
 let fabric_messages t = t.net_messages
@@ -120,6 +120,11 @@ let pp ppf t =
    | Some r ->
      Format.fprintf ppf "fault tolerance     %a@,"
        Samhita.Metrics.pp_replication r);
+  (match t.ctl with
+   | None -> ()
+   | Some c ->
+     Format.fprintf ppf "control plane       %a@," Samhita.Metrics.pp_control
+       c);
   Format.fprintf ppf "cache hit rate      %.4f (%d hits / %d misses)@,"
     (hit_rate t) (total_hits t) (total_misses t);
   List.iter

@@ -20,6 +20,7 @@ type t = {
   backend : string;
   threads : int;
   replication : int;
+  manager_shards : int;
   crash : bool;
   kv : Workload.Kv.params;
   capacity_rps : float;
@@ -31,11 +32,12 @@ let default_fractions = [ 0.25; 0.5; 0.75; 0.9; 1.5 ]
 (* Both sides of a replication on/off comparison run with two memory
    servers, so the comparison isolates the mirroring cost itself (the
    bench replication probe does the same). *)
-let smh_config ~replication ~crash ~span_ns =
+let smh_config ~replication ~manager_shards ~crash ~span_ns =
   let base =
     { Samhita.Config.default with
       Samhita.Config.memory_servers = 2;
-      replication }
+      replication;
+      manager_shards }
   in
   if crash then
     { base with
@@ -43,12 +45,13 @@ let smh_config ~replication ~crash ~span_ns =
       lease_interval = Desim.Time.ns 20_000 }
   else base
 
-let backend_of ~kind ~replication ~crash ~span_ns : Workload.Backend_sig.backend =
+let backend_of ~kind ~replication ~manager_shards ~crash ~span_ns :
+  Workload.Backend_sig.backend =
   match kind with
   | Pth -> Workload.Smp_backend.default
   | Smh ->
     Workload.Samhita_backend.make
-      ~config:(smh_config ~replication ~crash ~span_ns) ()
+      ~config:(smh_config ~replication ~manager_shards ~crash ~span_ns) ()
 
 (* Serving span at the offered rate: when to schedule a mid-run crash. *)
 let span_ns_of (kv : Workload.Kv.params) =
@@ -57,10 +60,12 @@ let span_ns_of (kv : Workload.Kv.params) =
     (float_of_int tp.Workload.Traffic.requests
      *. 1e9 /. tp.Workload.Traffic.rate_rps)
 
-let run_kv ~kind ~threads ~replication ~crash (kv : Workload.Kv.params) =
+let run_kv ~kind ~threads ~replication ~manager_shards ~crash
+    (kv : Workload.Kv.params) =
   let est = Percentile.create () in
   let b =
-    backend_of ~kind ~replication ~crash ~span_ns:(span_ns_of kv)
+    backend_of ~kind ~replication ~manager_shards ~crash
+      ~span_ns:(span_ns_of kv)
   in
   let r =
     Workload.Kv.run b ~threads kv
@@ -88,13 +93,17 @@ let with_rate (kv : Workload.Kv.params) rate =
     Workload.Kv.traffic =
       { kv.Workload.Kv.traffic with Workload.Traffic.rate_rps = rate } }
 
-let run ?(fractions = default_fractions) ~backend:kind ~threads ~replication
-    ~crash (kv : Workload.Kv.params) =
+let run ?(fractions = default_fractions) ?(manager_shards = 1) ~backend:kind
+    ~threads ~replication ~crash (kv : Workload.Kv.params) =
   if threads <= 0 then invalid_arg "Serving.run: threads";
   if replication < 0 || replication > 1 then
     invalid_arg "Serving.run: replication must be 0 or 1";
-  if kind = Pth && (replication > 0 || crash) then
-    invalid_arg "Serving.run: replication and crash need the smh backend";
+  if manager_shards < 1 then
+    invalid_arg "Serving.run: manager_shards must be >= 1";
+  if kind = Pth && (replication > 0 || crash || manager_shards > 1) then
+    invalid_arg
+      "Serving.run: replication, crash and manager shards need the smh \
+       backend";
   if crash && replication = 0 then
     invalid_arg "Serving.run: a crash is survivable only with replication";
   if fractions = [] then invalid_arg "Serving.run: empty load sweep";
@@ -109,7 +118,8 @@ let run ?(fractions = default_fractions) ~backend:kind ~threads ~replication
      The probe never crashes (a recovery pause would understate
      capacity and shift every sweep point). *)
   let probe_r, probe_est =
-    run_kv ~kind ~threads ~replication ~crash:false (with_rate kv 1e12)
+    run_kv ~kind ~threads ~replication ~manager_shards ~crash:false
+      (with_rate kv 1e12)
   in
   ignore (probe_est : Percentile.t);
   let capacity_rps =
@@ -121,7 +131,8 @@ let run ?(fractions = default_fractions) ~backend:kind ~threads ~replication
       (fun fraction ->
          let rate_rps = fraction *. capacity_rps in
          let r, est =
-           run_kv ~kind ~threads ~replication ~crash (with_rate kv rate_rps)
+           run_kv ~kind ~threads ~replication ~manager_shards ~crash
+             (with_rate kv rate_rps)
          in
          point_of ~fraction ~rate_rps r est)
       fractions
@@ -129,6 +140,7 @@ let run ?(fractions = default_fractions) ~backend:kind ~threads ~replication
   { backend = backend_name kind;
     threads;
     replication;
+    manager_shards;
     crash;
     kv;
     capacity_rps;
@@ -141,11 +153,14 @@ let pp ppf t =
   let tp = t.kv.Workload.Kv.traffic in
   Format.fprintf ppf
     "== kv serving: %s P=%d keys=%d shards=%d clients=%d requests=%d \
-     zipf=%.2f reads=%.2f repl=%d%s ==@\n"
+     zipf=%.2f reads=%.2f repl=%d%s%s ==@\n"
     t.backend t.threads tp.Workload.Traffic.keys t.kv.Workload.Kv.shards
     tp.Workload.Traffic.clients tp.Workload.Traffic.requests
     tp.Workload.Traffic.zipf_s tp.Workload.Traffic.read_fraction
     t.replication
+    (if t.manager_shards > 1 then
+       Printf.sprintf " mshards=%d" t.manager_shards
+     else "")
     (if t.crash then " crash" else "");
   Format.fprintf ppf "capacity %.0f req/s (closed-loop probe)@\n"
     t.capacity_rps;
@@ -170,6 +185,7 @@ let to_json t =
   Printf.bprintf b "    \"backend\": \"%s\",\n" t.backend;
   Printf.bprintf b "    \"threads\": %d,\n" t.threads;
   Printf.bprintf b "    \"replication\": %d,\n" t.replication;
+  Printf.bprintf b "    \"manager_shards\": %d,\n" t.manager_shards;
   Printf.bprintf b "    \"crash\": %b,\n" t.crash;
   Printf.bprintf b "    \"keys\": %d,\n" tp.Workload.Traffic.keys;
   Printf.bprintf b "    \"shards\": %d,\n" t.kv.Workload.Kv.shards;

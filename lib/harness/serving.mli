@@ -31,6 +31,7 @@ type t = {
   backend : string;
   threads : int;
   replication : int;
+  manager_shards : int;  (** Control-plane shards (1 = classic manager). *)
   crash : bool;
   kv : Workload.Kv.params;  (** Base parameters; rate set per point. *)
   capacity_rps : float;
@@ -43,17 +44,20 @@ val default_fractions : float list
 
 val run :
   ?fractions:float list ->
+  ?manager_shards:int ->
   backend:backend_kind ->
   threads:int ->
   replication:int ->
   crash:bool ->
   Workload.Kv.params -> t
-(** Deterministic per seed. [replication]/[crash] need [Smh] (two memory
-    servers are used for every Smh run so replication on/off compares
-    like for like); [crash] needs [replication = 1] and injects a
-    fail-stop memory-server crash mid-sweep-point, measuring what a
-    lease-detected promotion costs the tail. Raises [Invalid_argument]
-    on bad combinations. *)
+(** Deterministic per seed. [replication]/[crash]/[manager_shards > 1]
+    need [Smh] (two memory servers are used for every Smh run so
+    replication on/off compares like for like); [crash] needs
+    [replication = 1] and injects a fail-stop memory-server crash
+    mid-sweep-point, measuring what a lease-detected promotion costs the
+    tail. [manager_shards] (default 1) shards the control plane the KV
+    mutexes resolve through. Raises [Invalid_argument] on bad
+    combinations. *)
 
 val pp : Format.formatter -> t -> unit
 (** Human-readable capacity line plus one row per sweep point. *)

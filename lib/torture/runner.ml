@@ -23,6 +23,7 @@ type outcome = {
   o_trace : string list;
   o_faults : Samhita.Metrics.faults option;
   o_repl : Samhita.Metrics.replication option;
+  o_ctl : Samhita.Metrics.control option;
 }
 
 (* Seed-derived system geometry for the compute kernels: small lines and
@@ -30,7 +31,7 @@ type outcome = {
    history lengths flip acquirers between patch and invalidate paths. The
    racy kernel keeps the default geometry — its per-class defect counts
    are pinned by a test and must not depend on eviction accidents. *)
-let config_for ~kernel ~level ~crash ~seed rng =
+let config_for ~kernel ~level ~crash ~crash_shard ~seed rng =
   let base =
     match kernel with
     | Racy ->
@@ -60,8 +61,7 @@ let config_for ~kernel ~level ~crash ~seed rng =
         memory_servers = pick [ 1; 2; 3 ];
         threads_per_node = pick [ 1; 2; 4 ] }
   in
-  if not crash then base
-  else begin
+  if crash then begin
     (* Crash mode: replicated geometry (at least two servers so a backup
        exists) with one seed-chosen server killed at a seed-chosen
        instant. The racy kernel keeps its minimal replicated geometry for
@@ -81,12 +81,26 @@ let config_for ~kernel ~level ~crash ~seed rng =
       lease_interval = Desim.Time.ns 20_000;
       crash_server = Some (victim, at) }
   end
+  else if crash_shard then begin
+    (* Shard-crash mode: seed-derived sharded control plane (2..4 manager
+       shards) with one seed-chosen non-zero shard killed at a seed-chosen
+       instant; the ring successor must absorb the dead shard's sync
+       objects with no protocol invariant violated. Same stream-position
+       discipline as crash mode: drawn after all geometry draws. *)
+    let shards = 2 + Desim.Rng.int rng 3 in
+    let victim = 1 + Desim.Rng.int rng (shards - 1) in
+    let at = 5_000 + Desim.Rng.int rng 500_000 in
+    { base with
+      Samhita.Config.manager_shards = shards;
+      crash_shard = Some (victim, at) }
+  end
+  else base
 
-let run_one ?(crash = false) ~kernel ~level ~seed () =
+let run_one ?(crash = false) ?(crash_shard = false) ~kernel ~level ~seed () =
   (* All scenario draws come from a stream independent of the system's own
      seeded streams (engine tie-break, fault policy). *)
   let rng = Desim.Rng.create ~seed:(Desim.Rng.hash3 seed 0x746f72 1) in
-  let config = config_for ~kernel ~level ~crash ~seed rng in
+  let config = config_for ~kernel ~level ~crash ~crash_shard ~seed rng in
   let oracle = Oracle.create ~config () in
   let captured = ref None in
   let on_create sys =
@@ -217,6 +231,10 @@ let run_one ?(crash = false) ~kernel ~level ~seed () =
     o_repl =
       (match !captured with
        | Some sys -> Samhita.Metrics.replication_of_system sys
+       | None -> None);
+    o_ctl =
+      (match !captured with
+       | Some sys -> Samhita.Metrics.control_of_system sys
        | None -> None) }
 
 type summary = {
@@ -227,23 +245,24 @@ type summary = {
   s_reads_checked : int;
   s_faults : Samhita.Metrics.faults;
   s_promotions : int;
+  s_takeovers : int;
   s_failures : outcome list;
 }
 
-let run ?(replay_check = true) ?(crash = false) ~kernel ~level ~seeds
-    ~base_seed () =
+let run ?(replay_check = true) ?(crash = false) ?(crash_shard = false)
+    ~kernel ~level ~seeds ~base_seed () =
   if seeds <= 0 then invalid_arg "Torture.Runner.run: seeds must be positive";
   let failures = ref [] in
   let events = ref 0 and reads = ref 0 in
   let fd = ref 0 and fr = ref 0 and fo = ref 0 and ft = ref 0 in
-  let promotions = ref 0 in
+  let promotions = ref 0 and takeovers = ref 0 in
   for i = 0 to seeds - 1 do
     let seed = base_seed + i in
-    let o = run_one ~crash ~kernel ~level ~seed () in
+    let o = run_one ~crash ~crash_shard ~kernel ~level ~seed () in
     let o =
       if not replay_check then o
       else begin
-        let o2 = run_one ~crash ~kernel ~level ~seed () in
+        let o2 = run_one ~crash ~crash_shard ~kernel ~level ~seed () in
         if
           o2.o_digest <> o.o_digest
           || o2.o_events <> o.o_events
@@ -274,6 +293,9 @@ let run ?(replay_check = true) ?(crash = false) ~kernel ~level ~seeds
     (match o.o_repl with
      | Some r -> promotions := !promotions + r.Samhita.Metrics.promotions
      | None -> ());
+    (match o.o_ctl with
+     | Some c -> takeovers := !takeovers + c.Samhita.Metrics.takeovers
+     | None -> ());
     if o.o_violations <> [] then failures := o :: !failures
   done;
   { s_kernel = kernel;
@@ -287,6 +309,7 @@ let run ?(replay_check = true) ?(crash = false) ~kernel ~level ~seeds
         dropped = !fr;
         retried = !ft };
     s_promotions = !promotions;
+    s_takeovers = !takeovers;
     s_failures = List.rev !failures }
 
 let pp_outcome ppf o =
@@ -311,6 +334,8 @@ let pp_summary ppf s =
     s.s_runs s.s_events s.s_reads_checked Samhita.Metrics.pp_faults s.s_faults;
   if s.s_promotions > 0 then
     Format.fprintf ppf "crash recovery: %d promotion(s)@," s.s_promotions;
+  if s.s_takeovers > 0 then
+    Format.fprintf ppf "shard recovery: %d takeover(s)@," s.s_takeovers;
   Format.fprintf ppf "%s@]"
     (if s.s_failures = [] then "all seeds clean"
      else Printf.sprintf "%d FAILING seed(s)" (List.length s.s_failures))

@@ -28,17 +28,25 @@ type outcome = {
   o_faults : Samhita.Metrics.faults option;
   o_repl : Samhita.Metrics.replication option;
       (** Crash-fault-tolerance counters; [None] outside crash mode. *)
+  o_ctl : Samhita.Metrics.control option;
+      (** Control-plane counters; [None] outside shard-crash mode. *)
 }
 
 val run_one :
   ?crash:bool ->
+  ?crash_shard:bool ->
   kernel:kernel -> level:Fabric.Faults.level -> seed:int -> unit -> outcome
 (** One deterministic torture run. Deadlock ([Desim.Engine.Stalled]) and
     kernel crashes are reported as violations, never raised. With [crash]
     (default off) the seed additionally derives a replicated geometry
     (primary-backup, short leases) and a fail-stop crash of one
     seed-chosen memory server at a seed-chosen instant; the oracle then
-    also checks the post-recovery invariants ({!Oracle}). *)
+    also checks the post-recovery invariants ({!Oracle}). With
+    [crash_shard] (default off, mutually exclusive with [crash]) the seed
+    instead derives a sharded control plane (2..4 manager shards) and a
+    fail-stop crash of one seed-chosen non-zero shard; the ring successor
+    absorbs the dead shard's sync objects mid-run and every oracle
+    invariant must hold across the takeover. *)
 
 type summary = {
   s_kernel : kernel;
@@ -48,19 +56,22 @@ type summary = {
   s_reads_checked : int;
   s_faults : Samhita.Metrics.faults;  (** Summed over all runs. *)
   s_promotions : int;  (** Backup promotions summed over all runs. *)
+  s_takeovers : int;  (** Shard takeovers summed over all runs. *)
   s_failures : outcome list;  (** Seeds with at least one violation. *)
 }
 
 val run :
   ?replay_check:bool ->
   ?crash:bool ->
+  ?crash_shard:bool ->
   kernel:kernel ->
   level:Fabric.Faults.level ->
   seeds:int -> base_seed:int -> unit -> summary
 (** Torture [seeds] consecutive seeds starting at [base_seed]. With
     [replay_check] (default on) every seed runs twice and any divergence
     in digest, event count or makespan is itself a ["nondeterminism"]
-    violation. [crash] is passed through to {!run_one}. *)
+    violation. [crash] and [crash_shard] are passed through to
+    {!run_one}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Failing-seed report: violations then the trace tail. *)

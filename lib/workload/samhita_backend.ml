@@ -9,8 +9,8 @@ let make ?(on_create = fun (_ : Samhita.System.t) -> ())
 
     type system = Samhita.System.t
     type thread = Samhita.Thread_ctx.t
-    type mutex = Samhita.Manager.lock_id
-    type barrier = Samhita.Manager.barrier_id
+    type mutex = Samhita.Manager_shard.lock_id
+    type barrier = Samhita.Manager_shard.barrier_id
 
     let create ~threads =
       let sys = Samhita.System.create ~config ~threads () in

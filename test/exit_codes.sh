@@ -44,6 +44,19 @@ expect 0 "clean replay is clean" check --kernel micro --replay 0
 expect 0 "clean torture sweep" torture --kernel micro --seeds 2 --faults off
 expect 0 "clean kv torture sweep" torture --kernel kv --seeds 2 --faults off
 
+# torture shard-crash mode: clean sweep 0, incompatible modes 2.
+expect 0 "clean shard-crash torture sweep" torture --kernel micro --seeds 2 --faults off --crash-shard
+expect 2 "torture rejects crash + crash-shard" torture --kernel micro --seeds 1 --crash --crash-shard
+expect 2 "torture rejects crash-shard on racy" torture --kernel racy --seeds 1 --crash-shard
+
+# kernel control-plane geometry: sharded run clean, bad geometry 2.
+expect 0 "sharded micro run" micro -t 4 --shards 2
+expect 2 "micro rejects zero shards" micro -t 4 --shards 0
+expect 2 "micro rejects zero servers" micro --servers 0
+expect 2 "micro rejects shards on pth" micro --backend pth --shards 2
+expect 2 "micro rejects migrate on pth" micro --backend pth --migrate
+expect 2 "micro rejects over-cap threads" micro -t 1000
+
 # serve: 0 on a clean sweep, 2 on usage errors.
 serve_quick=(--backend pth -t 2 --clients 4 --requests 64 --keys 16 --load 0.5)
 expect 0 "clean serve sweep" serve "${serve_quick[@]}"
@@ -55,6 +68,18 @@ expect 2 "serve rejects replication on pth" serve --backend pth --replication 1
 expect 2 "serve rejects crash without replication" serve --backend smh --crash
 expect 2 "serve rejects malformed load" serve --load 0.5,zero
 expect 2 "serve rejects negative load" serve --load=-0.5
+expect 2 "serve rejects zero manager shards" serve --manager-shards 0
+expect 2 "serve rejects manager shards on pth" serve --backend pth --manager-shards 2
+
+# Usage errors carry subcommand context: "samhita_sim <cmd>: message".
+shape="$("$bin" micro -t 4 --shards 0 2>&1 >/dev/null)"
+case "$shape" in
+  "samhita_sim micro: "*) : ;;
+  *)
+    echo "exit_codes: usage-error shape: got '$shape'" >&2
+    fails=$((fails + 1))
+    ;;
+esac
 
 # serve --json: the BENCH.json serve block's schema is a CI consumer
 # contract. Written in a scratch dir so the repo root stays untouched,

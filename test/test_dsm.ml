@@ -81,7 +81,7 @@ let test_three_allocation_strategies () =
          (* All three land in distinct, non-overlapping GAS regions. *)
          let mgr = Samhita.System.manager sys in
          Alcotest.(check bool) "gas covers them" true
-           (Samhita.Manager.gas_used mgr
+           (Samhita.Manager_shard.gas_used mgr
             > max small (max medium large));
          (* And are usable. *)
          T.write_f64 t small 1.0;

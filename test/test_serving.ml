@@ -102,9 +102,19 @@ let test_validation () =
   let fails msg f =
     Alcotest.check_raises msg (Invalid_argument msg) (fun () -> ignore (f ()))
   in
-  fails "Serving.run: replication and crash need the smh backend" (fun () ->
+  fails
+    "Serving.run: replication, crash and manager shards need the smh \
+     backend" (fun () ->
       Harness.Serving.run ~backend:Harness.Serving.Pth ~threads:2
         ~replication:1 ~crash:false kv);
+  fails
+    "Serving.run: replication, crash and manager shards need the smh \
+     backend" (fun () ->
+      Harness.Serving.run ~backend:Harness.Serving.Pth ~manager_shards:2
+        ~threads:2 ~replication:0 ~crash:false kv);
+  fails "Serving.run: manager_shards must be >= 1" (fun () ->
+      Harness.Serving.run ~backend:Harness.Serving.Smh ~manager_shards:0
+        ~threads:2 ~replication:0 ~crash:false kv);
   fails "Serving.run: a crash is survivable only with replication"
     (fun () ->
        Harness.Serving.run ~backend:Harness.Serving.Smh ~threads:2

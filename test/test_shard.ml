@@ -1,0 +1,252 @@
+(* The sharded control plane: consistent-hash placement (balance and
+   minimal-disruption stability), seed-deterministic home-page
+   migration, shard-crash takeover under the torture oracle, and the
+   config bounds guarding the new geometry fields. *)
+
+(* ---------------- hash ring ---------------- *)
+
+let keys = 8192
+
+let owners ~shards =
+  let r = Samhita.Hash_ring.create ~shards () in
+  Array.init keys (Samhita.Hash_ring.lookup r)
+
+let test_ring_single_shard () =
+  (* One shard degenerates to constant 0 — the unsharded fast path. *)
+  Array.iteri
+    (fun k s ->
+       Alcotest.(check int) (Printf.sprintf "key %d on shard 0" k) 0 s)
+    (owners ~shards:1)
+
+let test_ring_balance () =
+  List.iter
+    (fun shards ->
+       let counts = Array.make shards 0 in
+       Array.iter
+         (fun s -> counts.(s) <- counts.(s) + 1)
+         (owners ~shards);
+       let mean = keys / shards in
+       Array.iteri
+         (fun s n ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%d shards: shard %d holds %d of %d keys"
+                 shards s n keys)
+              true
+              (n > mean / 3 && n < mean * 3))
+         counts)
+    [ 2; 4; 8 ]
+
+let test_ring_stability () =
+  (* Growing the ring by one shard may move a key only TO the new shard
+     (existing vnodes are unchanged), and only ~1/(N+1) of keys move. *)
+  let before = owners ~shards:4 and after = owners ~shards:5 in
+  let moved = ref 0 in
+  Array.iteri
+    (fun k b ->
+       let a = after.(k) in
+       if a <> b then begin
+         incr moved;
+         Alcotest.(check int)
+           (Printf.sprintf "key %d moved to the new shard" k)
+           4 a
+       end)
+    before;
+  let frac = float_of_int !moved /. float_of_int keys in
+  Alcotest.(check bool)
+    (Printf.sprintf "adding a 5th shard moved %.3f of keys" frac)
+    true
+    (frac > 0.02 && frac < 0.45)
+
+let test_ring_pure () =
+  (* Placement is a pure function of (salt, shards, vnodes): rebuilding
+     the ring gives identical ownership — no hidden RNG stream. *)
+  Alcotest.(check bool) "rebuilt ring identical" true
+    (owners ~shards:4 = owners ~shards:4)
+
+(* ---------------- home-page migration ---------------- *)
+
+(* One dominant writer hammering 8 distinct lines of a large (striped)
+   allocation under a lock: with 2 memory servers about half those lines
+   start on the remote server, and after [migration_window] observations
+   each must be re-homed next to the writer. *)
+let migration_run () =
+  let config =
+    { Samhita.Config.default with
+      Samhita.Config.memory_servers = 2;
+      home_migration = true;
+      migration_window = 8 }
+  in
+  let stride = Samhita.Config.line_bytes config in
+  let sys = Samhita.System.create ~config ~threads:2 () in
+  let l = Samhita.System.mutex sys in
+  let final = Array.make 8 nan in
+  ignore
+    (Samhita.System.spawn sys (fun t ->
+         let a = Samhita.Thread_ctx.malloc t ~bytes:(8 * 1024 * 1024) in
+         for i = 0 to 19 do
+           Samhita.Thread_ctx.mutex_lock t l;
+           for k = 0 to 7 do
+             Samhita.Thread_ctx.write_f64 t
+               (a + (k * stride))
+               (float_of_int (i + k))
+           done;
+           Samhita.Thread_ctx.mutex_unlock t l
+         done;
+         Samhita.Thread_ctx.mutex_lock t l;
+         for k = 0 to 7 do
+           final.(k) <- Samhita.Thread_ctx.read_f64 t (a + (k * stride))
+         done;
+         Samhita.Thread_ctx.mutex_unlock t l)
+      : Samhita.Thread_ctx.t);
+  ignore
+    (Samhita.System.spawn sys (fun t -> Samhita.Thread_ctx.charge t 1.0)
+      : Samhita.Thread_ctx.t);
+  Samhita.System.run sys;
+  let cp = Samhita.System.control_plane sys in
+  ( Samhita.Control_plane.migrations cp,
+    Samhita.Directory.rehomed (Samhita.System.directory sys),
+    Samhita.Control_plane.migration_log cp,
+    Array.to_list final )
+
+let test_migration_fires () =
+  let migrations, rehomed, _, final = migration_run () in
+  Alcotest.(check bool)
+    (Printf.sprintf "migrations fired (%d)" migrations)
+    true (migrations > 0);
+  Alcotest.(check int) "directory re-homed as many lines" migrations
+    rehomed;
+  (* Re-homing must not corrupt the data: reads after the last migration
+     still see the final write of every line. *)
+  List.iteri
+    (fun k v ->
+       Alcotest.(check (float 0.0))
+         (Printf.sprintf "line %d survives re-homing" k)
+         (float_of_int (19 + k))
+         v)
+    final
+
+let test_migration_deterministic () =
+  (* Migration decisions are a pure function of the seed: two identical
+     runs produce the same decision log, line for line. *)
+  let _, _, log_a, _ = migration_run () in
+  let _, _, log_b, _ = migration_run () in
+  Alcotest.(check bool) "non-empty decision log" true (log_a <> []);
+  Alcotest.(check (list (pair int int))) "identical decision logs" log_a
+    log_b
+
+(* ---------------- shard-crash takeover ---------------- *)
+
+let test_shard_crash_takeover () =
+  (* The torture harness under shard-crash mode: every seed derives a
+     sharded geometry, kills one non-zero shard mid-run, and the oracle
+     must stay silent across the takeover. *)
+  (* A seed whose run ends before the derived crash instant legitimately
+     sees no takeover; across a few seeds at least one must fire, and
+     every run must stay violation-free either way. *)
+  let fired = ref 0 in
+  List.iter
+    (fun seed ->
+       let o =
+         Torture.Runner.run_one ~crash_shard:true ~kernel:Torture.Runner.Micro
+           ~level:Fabric.Faults.High ~seed ()
+       in
+       Alcotest.(check int)
+         (Printf.sprintf "seed %d: no violations" seed)
+         0
+         (List.length o.Torture.Runner.o_violations);
+       match o.Torture.Runner.o_ctl with
+       | None -> Alcotest.fail "crash-shard run must report control metrics"
+       | Some c ->
+         Alcotest.(check bool)
+           (Printf.sprintf "seed %d: at most one takeover (%d)" seed
+              c.Samhita.Metrics.takeovers)
+           true
+           (c.Samhita.Metrics.takeovers <= 1);
+         fired := !fired + c.Samhita.Metrics.takeovers)
+    [ 0; 1; 2 ];
+  Alcotest.(check bool)
+    (Printf.sprintf "at least one seed crashed a shard (%d)" !fired)
+    true (!fired > 0)
+
+let test_shard_crash_deterministic () =
+  let run seed =
+    Torture.Runner.run_one ~crash_shard:true ~kernel:Torture.Runner.Micro
+      ~level:Fabric.Faults.Off ~seed ()
+  in
+  let a = run 7 and b = run 7 in
+  Alcotest.(check int) "same digest" a.Torture.Runner.o_digest
+    b.Torture.Runner.o_digest;
+  Alcotest.(check int) "same event count" a.Torture.Runner.o_events
+    b.Torture.Runner.o_events
+
+(* ---------------- config bounds ---------------- *)
+
+let test_config_bounds () =
+  let rejects msg config =
+    match Samhita.Config.validate config with
+    | Ok () -> Alcotest.failf "accepted invalid config (wanted %S)" msg
+    | Error e ->
+      Alcotest.(check string) (Printf.sprintf "error names the bound") msg e
+  in
+  let d = Samhita.Config.default in
+  rejects "max_threads must be >= 1"
+    { d with Samhita.Config.max_threads = 0 };
+  rejects "manager_shards must be >= 1"
+    { d with Samhita.Config.manager_shards = 0 };
+  rejects "migration_window must be >= 2"
+    { d with Samhita.Config.migration_window = 1 };
+  rejects
+    "manager_bypass requires manager_shards = 1 (bypass is a \
+     single-compute-node optimization)"
+    { d with Samhita.Config.manager_bypass = true; manager_shards = 2 };
+  rejects
+    "crash_shard requires manager_shards >= 2 (a surviving shard must \
+     take over)"
+    { d with Samhita.Config.crash_shard = Some (1, 100) };
+  rejects
+    "crash_shard index out of range (shard 0 hosts allocation and is \
+     not killable)"
+    { d with
+      Samhita.Config.manager_shards = 3;
+      crash_shard = Some (0, 100) };
+  rejects
+    "crash_shard index out of range (shard 0 hosts allocation and is \
+     not killable)"
+    { d with
+      Samhita.Config.manager_shards = 3;
+      crash_shard = Some (3, 100) };
+  Alcotest.(check bool) "valid sharded config accepted" true
+    (Samhita.Config.validate
+       { d with Samhita.Config.manager_shards = 4; home_migration = true }
+     = Ok ())
+
+let test_config_accepts_max_threads () =
+  (* The cap is a field, not a constant: raising it admits bigger
+     systems. *)
+  let d = Samhita.Config.default in
+  Alcotest.(check int) "default cap is 512" 512
+    d.Samhita.Config.max_threads;
+  Alcotest.(check bool) "raised cap validates" true
+    (Samhita.Config.validate { d with Samhita.Config.max_threads = 4096 }
+     = Ok ())
+
+let tests =
+  [ Alcotest.test_case "ring: single shard" `Quick test_ring_single_shard;
+    Alcotest.test_case "ring: balance" `Quick test_ring_balance;
+    Alcotest.test_case "ring: stability under growth" `Quick
+      test_ring_stability;
+    Alcotest.test_case "ring: pure placement" `Quick test_ring_pure;
+    Alcotest.test_case "migration: fires and preserves data" `Quick
+      test_migration_fires;
+    Alcotest.test_case "migration: seed-deterministic" `Quick
+      test_migration_deterministic;
+    Alcotest.test_case "shard crash: takeover clean" `Quick
+      test_shard_crash_takeover;
+    Alcotest.test_case "shard crash: deterministic" `Quick
+      test_shard_crash_deterministic;
+    Alcotest.test_case "config: bounds named in errors" `Quick
+      test_config_bounds;
+    Alcotest.test_case "config: max_threads is a field" `Quick
+      test_config_accepts_max_threads ]
+
+let () = Alcotest.run "shard" [ ("shard", tests) ]

@@ -43,13 +43,13 @@ let test_invalid_system () =
      | _ -> false)
 
 let test_thread_limit () =
-  (* Sharer/writer sets are thread-id bitmasks: ids must fit 63-bit ints.
-     The cap itself is fine; one more is rejected up front with a message
-     that names both the request and the limit. *)
-  ignore
-    (Samhita.System.create ~threads:Samhita.Config.max_threads ()
-     : Samhita.System.t);
-  match Samhita.System.create ~threads:(Samhita.Config.max_threads + 1) () with
+  (* The cap is a validated config field now (sharer/writer sets are
+     bitsets, not 63-bit masks). The cap itself is fine; one more is
+     rejected up front with a message that names both the request and the
+     limit. *)
+  let cap = Samhita.Config.default.Samhita.Config.max_threads in
+  ignore (Samhita.System.create ~threads:cap () : Samhita.System.t);
+  match Samhita.System.create ~threads:(cap + 1) () with
   | exception Invalid_argument msg ->
     let contains hay needle =
       let nh = String.length hay and nn = String.length needle in
@@ -59,10 +59,10 @@ let test_thread_limit () =
       go 0
     in
     Alcotest.(check bool) "message names the limit" true
-      (contains msg (string_of_int Samhita.Config.max_threads));
+      (contains msg (string_of_int cap));
     Alcotest.(check bool) "message names the request" true
-      (contains msg (string_of_int (Samhita.Config.max_threads + 1)))
-  | _ -> Alcotest.fail "threads above Config.max_threads must be rejected"
+      (contains msg (string_of_int (cap + 1)))
+  | _ -> Alcotest.fail "threads above max_threads must be rejected"
 
 let test_threads_listed_in_order () =
   let sys = Samhita.System.create ~threads:4 () in
@@ -82,7 +82,7 @@ let test_manager_bypass_layout () =
       ~threads:4 ()
   in
   let mgr_node =
-    Fabric.Scl.node (Samhita.Manager.endpoint (Samhita.System.manager sys))
+    Fabric.Scl.node (Samhita.Manager_shard.endpoint (Samhita.System.manager sys))
   in
   (* node 0 = (unused) manager slot, 1 = server, 2 = first compute node *)
   Alcotest.(check int) "manager co-located with compute" 2 mgr_node
