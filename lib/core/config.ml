@@ -34,6 +34,7 @@ type t = {
   home_migration : bool;
   migration_window : int;
   crash_shard : (int * int) option;
+  domains : int;
 }
 
 let default =
@@ -69,7 +70,8 @@ let default =
     manager_shards = 1;
     home_migration = false;
     migration_window = 32;
-    crash_shard = None }
+    crash_shard = None;
+    domains = 1 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -162,6 +164,43 @@ let validate t =
       ((not t.home_migration) || t.model = Regc)
       "home_migration is only modeled for the regc engine"
   in
+  let* () = check (t.domains >= 1) "domains must be >= 1" in
+  (* ParDES exclusions: parallel runs keep the conservative-safety
+     argument simple by forbidding every feature that either perturbs
+     timing sub-lookahead (faults, shuffle), needs the global sequential
+     schedule (sanitize feeds the vector-clock analyzer), or lets the
+     protocol bypass the hub (manager_bypass loopback, home migration's
+     direct blits). *)
+  let* () =
+    check (t.domains = 1 || t.model = Regc)
+      "domains > 1 is only modeled for the regc engine"
+  in
+  let* () =
+    check (t.domains = 1 || not t.sanitize)
+      "domains > 1 is incompatible with sanitize (RegCSan needs the \
+       sequential engine)"
+  in
+  let* () =
+    check (t.domains = 1 || not t.shuffle)
+      "domains > 1 is incompatible with shuffle (tie fuzzing needs the \
+       sequential engine)"
+  in
+  let* () =
+    check (t.domains = 1 || t.fault_level = Fabric.Faults.Off)
+      "domains > 1 is incompatible with fault injection"
+  in
+  let* () =
+    check (t.domains = 1 || (t.crash_server = None && t.crash_shard = None))
+      "domains > 1 is incompatible with crash injection"
+  in
+  let* () =
+    check (t.domains = 1 || not t.home_migration)
+      "domains > 1 is incompatible with home_migration"
+  in
+  let* () =
+    check (t.domains = 1 || not t.manager_bypass)
+      "domains > 1 is incompatible with manager_bypass"
+  in
   match t.crash_shard with
   | None -> Ok ()
   | Some (shard, at) ->
@@ -195,7 +234,7 @@ let pp ppf t =
      cost: mem=%.2fns flop=%.2fns server=%a manager=%a diff=%.3fns/B@ \
      layout: %d server(s), %d threads/node, %s@ \
      ft: replication=%d crash=%s lease=%a@ \
-     ctl: shards=%d max-threads=%d migrate=%b crash-shard=%s@]"
+     ctl: shards=%d max-threads=%d migrate=%b crash-shard=%s"
     (model_name t.model)
     t.page_bytes t.pages_per_line t.cache_lines t.prefetch
     t.evict_dirty_first t.sanitize
@@ -214,4 +253,8 @@ let pp ppf t =
     t.manager_shards t.max_threads t.home_migration
     (match t.crash_shard with
      | None -> "none"
-     | Some (shard, at) -> Printf.sprintf "shard%d@%dns" shard at)
+     | Some (shard, at) -> Printf.sprintf "shard%d@%dns" shard at);
+  (* Only parallel runs mention ParDES, keeping every domains = 1 report
+     byte-identical to the sequential engine's. *)
+  if t.domains <> 1 then Format.fprintf ppf "@ par: domains=%d" t.domains;
+  Format.fprintf ppf "@]"

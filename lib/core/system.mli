@@ -45,7 +45,9 @@ val sanitizer : t -> Analysis.Regcsan.t option
 val set_probe : t -> Probe.t -> unit
 (** Attach a protocol-event observer ({!Probe.t}); the torture oracle
     subscribes through this. Must be called before the first {!spawn}
-    (raises [Invalid_argument] otherwise) so every thread sees it. *)
+    (raises [Invalid_argument] otherwise) so every thread sees it.
+    Probes observe the global sequential schedule, so this also raises
+    when [Config.domains > 1]. *)
 
 val probe : t -> Probe.t option
 
@@ -74,3 +76,8 @@ val run : t -> unit
 
 val elapsed : t -> Desim.Time.t
 (** Simulated makespan so far. *)
+
+val events : t -> int
+(** Simulation events executed so far, summed over all partitions
+    ({!Desim.Engine.events}) — the numerator of the ParDES events/sec
+    throughput metric. *)

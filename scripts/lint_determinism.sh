@@ -27,4 +27,32 @@ if [ -n "$hits" ]; then
   echo "route randomness through Sim.Rng (seeded, splittable) instead" >&2
   exit 1
 fi
+
+# Domain-safety check (ParDES): with the engine running client
+# partitions on several OCaml domains, a new top-level `ref` or
+# `Hashtbl.create` in lib/sim or lib/core is shared mutable state that
+# every domain can reach — an unsynchronized write there is a data race
+# the simulation cannot replay. Keep state inside per-engine/per-system
+# records, use Domain.DLS for per-domain scratch, or Atomic.t for
+# cross-domain counters; extend the allowlist only for hooks that are
+# provably single-domain (set before the run, read serially).
+#
+# Allowlist (file:binding, matched against the grep hit):
+#   lib/sim/resource.ml let observer — RegCCheck observer hook, installed
+#   and read only in 1-domain model-checking runs.
+mutable_allow='^lib/sim/resource\.ml:[0-9]+:let observer '
+mutable_hits=$(grep -rn -E \
+  '^let [^=]*= *(ref |Hashtbl\.create|Array\.make|Bytes\.create|Buffer\.create)' \
+  lib/sim lib/core --include='*.ml' 2>/dev/null \
+  | grep -v -E "$mutable_allow" || true)
+
+if [ -n "$mutable_hits" ]; then
+  echo "lint_determinism: new top-level mutable state in lib/sim or lib/core:" >&2
+  echo "$mutable_hits" >&2
+  echo "client partitions run on multiple domains (ParDES); top-level refs" >&2
+  echo "and Hashtbls are cross-domain shared state. Put it in the engine or" >&2
+  echo "system record, a Domain.DLS key, or an Atomic — or allowlist it" >&2
+  echo "here with a proof it is only touched from one domain." >&2
+  exit 1
+fi
 echo "lint_determinism: clean"
