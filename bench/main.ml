@@ -274,6 +274,52 @@ let replication_probe () =
         ("replayed_updates", r.Samhita.Metrics.replayed_updates) ] )
 
 (* ------------------------------------------------------------------ *)
+(* Gray-failure detection probe                                        *)
+
+(* How does the failure detector behave under a partition that is not a
+   crash? One Jacobi run with a control-scope partition: the victim's
+   lease expires (false suspicion), its backup is promoted, and the
+   still-executing zombie's traffic is fenced by the epoch check until
+   the heal lets it rejoin. Reported as the raw detection counters —
+   the quantities the partition-torture oracle asserts over. *)
+let detection_probe () =
+  let config =
+    { Samhita.Config.default with
+      Samhita.Config.memory_servers = 2;
+      replication = 1;
+      lease_interval = Desim.Time.ns 20_000;
+      partition_server = Some (1, Samhita.Config.Control, 5_000, 400_000) }
+  in
+  let captured = ref None in
+  let b =
+    Workload.Samhita_backend.make ~config
+      ~on_create:(fun sys -> captured := Some sys)
+      ()
+  in
+  let p = { Workload.Jacobi.default_params with n = 32; iters = 4 } in
+  ignore (Workload.Jacobi.run b ~threads:4 p : Workload.Jacobi.result);
+  let counters =
+    match !captured with
+    | Some s -> Samhita.Metrics.detection_of_system s
+    | None -> None
+  in
+  match counters with
+  | None -> []
+  | Some d ->
+    Printf.printf
+      "== gray-failure detection probe (jacobi, control-scope partition) ==\n\
+      \  suspicions        %d\n\
+      \  false suspicions  %d\n\
+      \  fenced messages   %d\n\
+      \  rejoins           %d\n\n"
+      d.Samhita.Metrics.suspicions d.Samhita.Metrics.false_suspicions
+      d.Samhita.Metrics.fenced_messages d.Samhita.Metrics.rejoins;
+    [ ("suspicions", d.Samhita.Metrics.suspicions);
+      ("false_suspicions", d.Samhita.Metrics.false_suspicions);
+      ("fenced_messages", d.Samhita.Metrics.fenced_messages);
+      ("rejoins", d.Samhita.Metrics.rejoins) ]
+
+(* ------------------------------------------------------------------ *)
 (* ParDES events/sec probe                                             *)
 
 (* Host-time throughput of the engine itself, sequential vs parallel:
@@ -348,7 +394,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_bench_json ~scale ~micro ~figures ~repl ~pardes =
+let write_bench_json ~scale ~micro ~figures ~repl ~detect ~pardes =
   let oc = open_out "BENCH.json" in
   let field_block name entries fmt_v =
     Printf.fprintf oc "  \"%s\": {" name;
@@ -389,6 +435,10 @@ let write_bench_json ~scale ~micro ~figures ~repl ~pardes =
      ((slow_label, Printf.sprintf "%.3f" slowdown)
       :: List.map (fun (k, v) -> (k, string_of_int v)) counters)
      (fun s -> s));
+  if detect <> [] then begin
+    Printf.fprintf oc ",\n";
+    field_block "detection" detect string_of_int
+  end;
   Printf.fprintf oc ",\n";
   field_block "events_per_sec" pardes (Printf.sprintf "%.1f");
   Printf.fprintf oc "\n}\n";
@@ -414,8 +464,9 @@ let () =
   let micro = if not no_micro then run_bechamel () else [] in
   if json then begin
     let repl = replication_probe () in
+    let detect = detection_probe () in
     let pardes = pardes_probe () in
     write_bench_json
       ~scale:(if quick then "quick" else "paper")
-      ~micro ~figures ~repl ~pardes
+      ~micro ~figures ~repl ~detect ~pardes
   end

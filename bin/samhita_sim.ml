@@ -498,7 +498,21 @@ let torture_cmd =
              vs the sequential reference, session guarantees, determinism \
              replay) must still hold across the takeover.")
   in
-  let run seeds base_seed level kernel replay crash crash_shard domains =
+  let partition_t =
+    Arg.(
+      value & flag
+      & info [ "partition" ]
+          ~doc:
+            "Gray-failure mode: each seed derives a replicated geometry \
+             and a network partition (not a crash) of one seed-chosen \
+             memory server over a seed-chosen window, long enough that \
+             its lease falsely expires while it keeps executing; the \
+             oracle also checks the epoch-fencing invariants (no \
+             split-brain through the zombie primary, no lost acked write \
+             across the false suspicion, post-heal rejoin convergence).")
+  in
+  let run seeds base_seed level kernel replay crash crash_shard partition
+      domains =
     (* Torture needs probes, shuffle and fault injection — all sequential
        machinery; the flag exists so sweep scripts can pass --domains
        uniformly, but only 1 is accepted. *)
@@ -506,22 +520,30 @@ let torture_cmd =
       Cli.usage ~cmd:"torture"
         "--domains must be 1 (the torture oracle and schedule fuzzing \
          need the sequential engine)";
-    if crash && crash_shard then
+    if (crash && crash_shard) || (crash && partition)
+       || (crash_shard && partition)
+    then
       Cli.usage ~cmd:"torture"
-        "--crash and --crash-shard are mutually exclusive (single-failure \
-         model)";
+        "--crash, --crash-shard and --partition are mutually exclusive \
+         (single-failure model)";
     if crash_shard && kernel = Torture.Runner.Racy then
       Cli.usage ~cmd:"torture"
         "--crash-shard supports --kernel micro, jacobi or kv (racy pins \
          per-class defect counts that a takeover would perturb)";
+    if partition && kernel = Torture.Runner.Racy then
+      Cli.usage ~cmd:"torture"
+        "--partition supports --kernel micro, jacobi or kv (racy pins \
+         per-class defect counts that a false suspicion would perturb)";
     let flags_repro =
       (if crash then " --crash" else "")
-      ^ if crash_shard then " --crash-shard" else ""
+      ^ (if crash_shard then " --crash-shard" else "")
+      ^ if partition then " --partition" else ""
     in
     match replay with
     | Some seed ->
       let o =
-        Torture.Runner.run_one ~crash ~crash_shard ~kernel ~level ~seed ()
+        Torture.Runner.run_one ~crash ~crash_shard ~partition ~kernel
+          ~level ~seed ()
       in
       Format.printf "%a@." Torture.Runner.pp_outcome o;
       if o.Torture.Runner.o_violations <> [] then begin
@@ -535,8 +557,8 @@ let torture_cmd =
       end
     | None ->
       let s =
-        Torture.Runner.run ~crash ~crash_shard ~kernel ~level ~seeds
-          ~base_seed ()
+        Torture.Runner.run ~crash ~crash_shard ~partition ~kernel ~level
+          ~seeds ~base_seed ()
       in
       Format.printf "%a@." Torture.Runner.pp_summary s;
       if s.Torture.Runner.s_failures <> [] then begin
@@ -571,7 +593,7 @@ let torture_cmd =
           bit-for-bit determinism")
     Term.(
       const run $ seeds_t $ base_seed_t $ faults_t $ kernel_t $ replay_t
-      $ crash_t $ crash_shard_t $ Cli.domains_t)
+      $ crash_t $ crash_shard_t $ partition_t $ Cli.domains_t)
 
 (* ---------------- race ---------------- *)
 
@@ -606,7 +628,10 @@ let check_cmd =
           ~doc:
             "Bounded kernel to exhaust: $(b,racy) (seeded race), \
              $(b,micro) (clean global-sum), $(b,abba) \
-             (schedule-dependent lock-order deadlock).")
+             (schedule-dependent lock-order deadlock), or $(b,gray) \
+             (explicit-state model of epoch-fenced recovery: every \
+             interleaving of client writes with false suspicion, heal \
+             and rejoin, plus a fence-disabled negative control).")
   in
   let threads_t =
     Arg.(
@@ -670,6 +695,43 @@ let check_cmd =
   in
   let run kernel threads pages crash max_schedules naive quantum compare
       replay =
+    (* The gray kernel is a self-contained explicit-state model (no
+       simulator underneath), dispatched before the simulator-backed
+       kernel registry. *)
+    if kernel = "gray" then begin
+      if crash then
+        Cli.usage ~cmd:"check"
+          "--kernel gray models a partition, not a crash (--crash is for \
+           the simulator-backed kernels)";
+      if replay <> None then
+        Cli.usage ~cmd:"check" "--kernel gray does not support --replay";
+      let writes = 2 in
+      let defects = ref 0 in
+      List.iter
+        (fun scope ->
+           let r = Check.Gray.explore ~scope ~writes () in
+           Format.printf "%a@." Check.Gray.pp_result r;
+           defects := !defects + List.length r.Check.Gray.g_defects)
+        [ Check.Gray.Isolate; Check.Gray.Control ];
+      (* Negative control: the same exploration with the epoch fence
+         disabled must find split-brain counterexamples, or the
+         invariant checks are vacuous. *)
+      let neg =
+        Check.Gray.explore ~fence:false ~scope:Check.Gray.Control ~writes ()
+      in
+      Format.printf "%a@." Check.Gray.pp_result neg;
+      if neg.Check.Gray.g_defects = [] then begin
+        Printf.eprintf
+          "samhita_sim check: gray negative control (fence disabled) found \
+           no violations — the invariant checks are vacuous\n";
+        exit 1
+      end;
+      Format.printf
+        "gray: fence holds over every interleaving; %d violation(s) \
+         without it@."
+        (List.length neg.Check.Gray.g_defects);
+      if !defects > 0 then exit 1 else exit 0
+    end;
     let kernel =
       match Check.Kernels.of_name kernel with
       | Ok k -> k

@@ -185,7 +185,11 @@ let run_once opts ~prefix ~branch_sleep =
       on_recovery =
         (fun ~time ~failed ~promoted ~replayed ->
            Footprint.set_global !cur;
-           op.Samhita.Probe.on_recovery ~time ~failed ~promoted ~replayed) }
+           op.Samhita.Probe.on_recovery ~time ~failed ~promoted ~replayed);
+      on_rejoin =
+        (fun ~time ~zombie ~primary ~copied ->
+           Footprint.set_global !cur;
+           op.Samhita.Probe.on_rejoin ~time ~zombie ~primary ~copied) }
   in
   Samhita.System.set_probe sys probe;
   Desim.Engine.set_chooser engine (Some chooser);

@@ -1,5 +1,13 @@
 type model = Regc | Sc_invalidate
 
+(* Which pairs a partitioned memory server loses. Isolate cuts the victim
+   off from everyone (clients stall and park until the heal — no false
+   promotion can corrupt anything because nobody reaches the victim
+   either). Control cuts only the manager-shard nodes: clients still
+   reach the victim while the lease monitor suspects it — the
+   zombie-primary case the epoch fence exists for. *)
+type partition_scope = Isolate | Control
+
 type t = {
   model : model;
   page_bytes : int;
@@ -35,6 +43,12 @@ type t = {
   migration_window : int;
   crash_shard : (int * int) option;
   domains : int;
+  (* Gray-failure injection: (server, scope, start_ns, heal_ns) makes the
+     server's node unreachable per scope inside [start, heal) — it keeps
+     executing, unlike crash_server. stall_server (server, start_ns,
+     heal_ns) adds a constant multi-RTT penalty to its traffic instead. *)
+  partition_server : (int * partition_scope * int * int) option;
+  stall_server : (int * int * int) option;
 }
 
 let default =
@@ -71,7 +85,9 @@ let default =
     home_migration = false;
     migration_window = 32;
     crash_shard = None;
-    domains = 1 }
+    domains = 1;
+    partition_server = None;
+    stall_server = None }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -201,29 +217,88 @@ let validate t =
     check (t.domains = 1 || not t.manager_bypass)
       "domains > 1 is incompatible with manager_bypass"
   in
-  match t.crash_shard with
+  let* () =
+    match t.crash_shard with
+    | None -> Ok ()
+    | Some (shard, at) ->
+      let* () =
+        check (t.manager_shards >= 2)
+          "crash_shard requires manager_shards >= 2 (a surviving shard must \
+           take over)"
+      in
+      let* () =
+        check
+          (shard >= 1 && shard < t.manager_shards)
+          "crash_shard index out of range (shard 0 hosts allocation and is \
+           not killable)"
+      in
+      let* () = check (at >= 0) "crash_shard instant must be >= 0" in
+      let* () =
+        check (t.crash_server = None)
+          "crash_shard and crash_server are mutually exclusive \
+           (single-failure model)"
+      in
+      check (t.model = Regc) "crash_shard is only modeled for the regc engine"
+  in
+  let* () =
+    match t.partition_server with
+    | None -> Ok ()
+    | Some (srv, _, start, heal) ->
+      let* () =
+        check
+          (srv >= 0 && srv < t.memory_servers)
+          "partition_server index out of range"
+      in
+      let* () =
+        check
+          (0 <= start && start < heal)
+          "partition_server window must satisfy 0 <= start < heal"
+      in
+      let* () =
+        check (t.model = Regc)
+          "partition_server is only modeled for the regc engine"
+      in
+      let* () =
+        check (t.replication = 1)
+          "partition_server requires replication = 1 (promotion under a \
+           false suspicion needs a backup to promote)"
+      in
+      let* () =
+        check
+          (t.crash_server = None && t.crash_shard = None)
+          "partition_server and crash injection are mutually exclusive \
+           (single-failure model)"
+      in
+      check (t.domains = 1)
+        "partition_server is incompatible with domains > 1"
+  in
+  match t.stall_server with
   | None -> Ok ()
-  | Some (shard, at) ->
+  | Some (srv, start, heal) ->
     let* () =
-      check (t.manager_shards >= 2)
-        "crash_shard requires manager_shards >= 2 (a surviving shard must \
-         take over)"
+      check
+        (srv >= 0 && srv < t.memory_servers)
+        "stall_server index out of range"
     in
     let* () =
       check
-        (shard >= 1 && shard < t.manager_shards)
-        "crash_shard index out of range (shard 0 hosts allocation and is \
-         not killable)"
+        (0 <= start && start < heal)
+        "stall_server window must satisfy 0 <= start < heal"
     in
-    let* () = check (at >= 0) "crash_shard instant must be >= 0" in
     let* () =
-      check (t.crash_server = None)
-        "crash_shard and crash_server are mutually exclusive (single-failure \
-         model)"
+      check (t.model = Regc)
+        "stall_server is only modeled for the regc engine"
     in
-    check (t.model = Regc) "crash_shard is only modeled for the regc engine"
+    check (t.domains = 1) "stall_server is incompatible with domains > 1"
 
 let model_name = function Regc -> "regc" | Sc_invalidate -> "sc-invalidate"
+
+let scope_name = function Isolate -> "isolate" | Control -> "control"
+
+let scope_of_string = function
+  | "isolate" | "iso" -> Ok Isolate
+  | "control" | "ctl" -> Ok Control
+  | s -> Error (Printf.sprintf "unknown partition scope %S" s)
 
 let pp ppf t =
   Format.fprintf ppf
@@ -255,6 +330,18 @@ let pp ppf t =
      | None -> "none"
      | Some (shard, at) -> Printf.sprintf "shard%d@%dns" shard at);
   (* Only parallel runs mention ParDES, keeping every domains = 1 report
-     byte-identical to the sequential engine's. *)
+     byte-identical to the sequential engine's. Likewise only gray-failure
+     runs mention partitions/stalls. *)
   if t.domains <> 1 then Format.fprintf ppf "@ par: domains=%d" t.domains;
+  if t.partition_server <> None || t.stall_server <> None then
+    Format.fprintf ppf "@ gray: partition=%s stall=%s"
+      (match t.partition_server with
+       | None -> "none"
+       | Some (srv, scope, start, heal) ->
+         Printf.sprintf "server%d/%s@[%dns,%dns)" srv (scope_name scope)
+           start heal)
+      (match t.stall_server with
+       | None -> "none"
+       | Some (srv, start, heal) ->
+         Printf.sprintf "server%d@[%dns,%dns)" srv start heal);
   Format.fprintf ppf "@]"

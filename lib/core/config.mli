@@ -14,6 +14,17 @@ type model =
           write-invalidate with recalls — the comparison strawman for the
           [abl-sc] ablation. *)
 
+(** Which pairs a partitioned memory server loses (gray-failure
+    injection). *)
+type partition_scope =
+  | Isolate
+      (** The victim is unreachable from {e everyone}: clients stall and
+          park until the heal; the lease monitor falsely suspects it. *)
+  | Control
+      (** Only the manager-shard nodes lose the victim: clients still
+          reach it while its lease expires — the zombie-primary scenario
+          the epoch fence exists for. *)
+
 type t = {
   model : model;
   (* Address-space geometry *)
@@ -137,6 +148,26 @@ type t = {
           and equal to the 1-domain run. Requires the [Regc] model and is
           mutually exclusive with [sanitize], [shuffle], fault/crash
           injection, [home_migration] and [manager_bypass]. *)
+  (* Gray failures *)
+  partition_server : (int * partition_scope * int * int) option;
+      (** Gray-failure injection: [(server, scope, start_ns, heal_ns)]
+          makes memory server [server]'s node unreachable (per [scope])
+          inside the window [\[start_ns, heal_ns)], then heals. Unlike
+          [crash_server] the victim keeps executing — its lease expires
+          ({e false} suspicion), the backup is promoted under a new
+          epoch, stale traffic to/from the zombie is fenced, and after
+          the heal it rejoins as the backup via an epoch-stamped resync.
+          Requires [replication = 1] and the [Regc] model; mutually
+          exclusive with crash injection (single-failure model). [None]
+          (default) keeps every output byte-identical to the seed
+          build. *)
+  stall_server : (int * int * int) option;
+      (** [(server, start_ns, heal_ns)]: every delivery touching the
+          server's node inside the window pays a constant multi-RTT
+          penalty ({!Fabric.Faults.stall_penalty_ns}), then heals. The
+          detector counts lost attempts, not lateness, so a stall
+          perturbs latency without expiring the lease — "slow" stays
+          distinguishable from "gone". [Regc] model only. *)
 }
 
 val default : t
@@ -150,4 +181,8 @@ val line_shift : t -> int
 (** [log2 (line_bytes t)]. *)
 
 val model_name : model -> string
+
+val scope_name : partition_scope -> string
+val scope_of_string : string -> (partition_scope, string) result
+
 val pp : Format.formatter -> t -> unit

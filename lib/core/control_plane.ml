@@ -132,8 +132,16 @@ let recover_shard t ~dead ~now =
    this is exactly Manager_shard.recover. [detecting] is the shard whose
    lease monitor expired the lease. *)
 let recover_server t ~dir ~servers ~dead ~probe ~now ~detecting =
-  let promoted = Directory.promote dir ~dead in
+  (* The detecting shard's lease expiry bumps its configuration epoch;
+     promotion stamps the directory slots and the promoted replica with
+     it. The suspected server keeps its old epoch — if it is merely
+     partitioned (not dead), its in-flight round trips now fence. *)
   Manager_shard.note_lease_expired t.shards.(detecting);
+  let promoted =
+    Directory.promote ~epoch:(Manager_shard.epoch t.shards.(detecting)) dir
+      ~dead
+  in
+  Memory_server.set_epoch servers.(promoted) (Directory.epoch dir);
   let replayed = ref 0 in
   Array.iter
     (fun sh ->
@@ -145,6 +153,52 @@ let recover_server t ~dir ~servers ~dead ~probe ~now ~detecting =
     (fun wake -> Desim.Engine.schedule_at t.engine now wake)
     (Directory.take_waiters dir);
   (promoted, !replayed)
+
+(* A falsely suspected server answered a probe after its partition
+   healed: resync it back in as the backup of whichever primary it maps
+   to now. The resync is an epoch-stamped diff against the new primary's
+   versions — only lines the primary currently serves where the zombie
+   is behind are copied — modeled like the home-migration blit as a
+   zero-latency background copy (the lease monitor's probe round trip
+   already charged the detection latency). Writes the zombie absorbed as
+   a Control-scope zombie primary before the promotion were
+   synchronously mirrored to exactly the server that got promoted, so
+   nothing it holds is newer than the primary; stale lines are simply
+   overwritten. *)
+let rejoin_server t ~dir ~servers ~zombie ~probe ~now =
+  let z = servers.(zombie) in
+  Memory_server.set_epoch z (Directory.epoch dir);
+  let copied = ref 0 in
+  let primary = ref zombie in
+  Array.iteri
+    (fun pi p ->
+       if pi <> zombie && not (Directory.failed dir pi) then
+         match Memory_server.backup p with
+         | Some b when Memory_server.id b = zombie ->
+           primary := pi;
+           Memory_server.iter_lines p (fun line data v ->
+               (* Version compare alone is not enough: a post-heal mirror
+                  may have applied a diff onto the zombie's stale base and
+                  forced the versions equal while the bytes still differ
+                  (the zombie missed the diffs degraded away during the
+                  partition). The resync must compare content. *)
+               if Directory.server_of_line dir t.cfg ~line = pi
+                  && (Memory_server.version z line < v
+                      || not (Bytes.equal (Memory_server.line z line) data))
+               then begin
+                 let dst = Memory_server.line z line in
+                 Bytes.blit data 0 dst 0 (Bytes.length data);
+                 Memory_server.force_version z line v;
+                 incr copied
+               end)
+         | _ -> ())
+    servers;
+  Directory.note_rejoin dir;
+  (match probe with
+   | Some p ->
+     p.Probe.on_rejoin ~time:now ~zombie ~primary:!primary ~copied:!copied
+   | None -> ());
+  (!primary, !copied)
 
 (* ------------------------------------------------------------------ *)
 (* Aggregated introspection (deadlock analysis, metrics, reports)      *)

@@ -70,7 +70,21 @@ val recover_server :
     once, replay every shard's surviving update logs (ascending shard,
     then lock id), wake the parked threads once. [detecting] is the
     shard whose lease monitor detected the failure. Returns
-    [(promoted, replayed_entries)]. *)
+    [(promoted, replayed_entries)]. The detecting shard's lease expiry
+    bumps its configuration epoch; promotion stamps the directory and
+    the promoted replica with it ({!Directory.epoch}), fencing the
+    suspected server's stale traffic. *)
+
+val rejoin_server :
+  t -> dir:Directory.t -> servers:Memory_server.t array -> zombie:int ->
+  probe:Probe.t option -> now:Desim.Time.t -> int * int
+(** A falsely suspected server answered a post-heal probe: stamp it with
+    the current epoch and resync it back in as the backup it already
+    ring-wires to — an epoch-stamped diff against the live primary's
+    versions (only lines that primary currently serves, only where the
+    zombie is behind), modeled as a zero-latency background copy like
+    the home-migration blit. Returns [(primary_backed, lines_copied)]
+    and fires [Probe.on_rejoin]. *)
 
 (** {2 Aggregated introspection} *)
 

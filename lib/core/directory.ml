@@ -19,7 +19,23 @@ type t = {
      the striped default. Empty (and never probed beyond one Hashtbl
      lookup on a 0-entry table) unless home migration ran. *)
   rehome : (int, int) Hashtbl.t;
+  (* Configuration epoch, monotonically increasing: bumped on every lease
+     expiry (promotion). epochs.(logical) is the epoch under which that
+     slot's current mapping was installed — clients stamp requests with
+     it and fence replies whose slot epoch moved mid-flight. All zero
+     until a promotion, so healthy runs never see a fence. *)
+  mutable cur_epoch : int;
+  epochs : int array;
+  (* Gray-failure bookkeeping. [rejoined] marks that the (falsely)
+     suspected server has been resynced back in as a backup. *)
+  mutable rejoined : bool;
+  mutable suspicions : int;
+  mutable false_suspicions : int;
+  mutable fenced : int;
+  mutable rejoins : int;
 }
+
+exception Stale_epoch
 
 let create (cfg : Config.t) =
   { memory_servers = cfg.Config.memory_servers;
@@ -27,7 +43,14 @@ let create (cfg : Config.t) =
     dead = None;
     waiters = [];
     promotions = 0;
-    rehome = Hashtbl.create 64 }
+    rehome = Hashtbl.create 64;
+    cur_epoch = 0;
+    epochs = Array.make cfg.Config.memory_servers 0;
+    rejoined = false;
+    suspicions = 0;
+    false_suspicions = 0;
+    fenced = 0;
+    rejoins = 0 }
 
 let physical_of_logical t logical =
   if logical < 0 || logical >= t.memory_servers then
@@ -55,16 +78,27 @@ let backup_of t i = (i + 1) mod t.memory_servers
 
 let failed t phys = t.dead = Some phys
 
-let promote t ~dead =
+let promote ?epoch t ~dead =
   if t.dead <> None then
     invalid_arg "Directory.promote: a server already failed (single-failure \
                  model)";
+  (* The new epoch comes from the lease-expiring manager shard when one
+     drove the recovery; it can only move the directory epoch forward. *)
+  let e =
+    max (t.cur_epoch + 1) (Option.value epoch ~default:(t.cur_epoch + 1))
+  in
+  t.cur_epoch <- e;
   let promoted = backup_of t dead in
   (* Every logical slot mapped at the dead physical server (the identity
-     slot, pre-promotion) repoints to the promoted backup. *)
+     slot, pre-promotion) repoints to the promoted backup and is stamped
+     with the new epoch — a round trip that resolved the slot before the
+     promotion carries the old stamp and will be fenced. *)
   Array.iteri
     (fun logical phys ->
-       if phys = dead then t.physical.(logical) <- promoted)
+       if phys = dead then begin
+         t.physical.(logical) <- promoted;
+         t.epochs.(logical) <- e
+       end)
     t.physical;
   t.dead <- Some dead;
   t.promotions <- t.promotions + 1;
@@ -78,3 +112,32 @@ let take_waiters t =
   ws
 
 let promotions t = t.promotions
+
+let epoch t = t.cur_epoch
+
+let epoch_of t ~logical =
+  if logical < 0 || logical >= t.memory_servers then
+    invalid_arg "Directory.epoch_of: bad logical server";
+  t.epochs.(logical)
+
+let note_fenced t = t.fenced <- t.fenced + 1
+
+let fence t ~logical ~epoch =
+  if t.epochs.(logical) <> epoch then begin
+    note_fenced t;
+    raise Stale_epoch
+  end
+
+let rejoined t = t.rejoined
+
+let note_suspicion t = t.suspicions <- t.suspicions + 1
+let note_false_suspicion t = t.false_suspicions <- t.false_suspicions + 1
+
+let note_rejoin t =
+  t.rejoined <- true;
+  t.rejoins <- t.rejoins + 1
+
+let suspicions t = t.suspicions
+let false_suspicions t = t.false_suspicions
+let fenced t = t.fenced
+let rejoins t = t.rejoins

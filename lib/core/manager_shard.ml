@@ -95,9 +95,13 @@ type t = {
   barriers : (barrier_id, barrier_state) Hashtbl.t;
   conds : (cond_id, cond_state) Hashtbl.t;
   mutable next_id : int;
-  (* Lease-based failure detection / recovery bookkeeping. *)
+  (* Lease-based failure detection / recovery bookkeeping. The shard's
+     configuration epoch advances with every lease it expires; recovery
+     stamps the directory and the promoted replica with it, fencing the
+     suspected server's stale traffic. *)
   mutable heartbeats : int;
   mutable leases_expired : int;
+  mutable cfg_epoch : int;
   mutable replayed : int;
   mutable orphans : orphan list;  (* newest first *)
   (* Home-page migration: per-line write counters over this shard's sync
@@ -132,6 +136,7 @@ let create cfg layout ~engine ~endpoint =
     next_id = 1;
     heartbeats = 0;
     leases_expired = 0;
+    cfg_epoch = 0;
     replayed = 0;
     orphans = [];
     write_counts = Hashtbl.create 64;
@@ -545,7 +550,15 @@ let cond_blocked t cond =
 let heartbeat_wire = 24
 
 let note_heartbeat t = t.heartbeats <- t.heartbeats + 1
-let note_lease_expired t = t.leases_expired <- t.leases_expired + 1
+
+(* Every lease expiry bumps the owning shard's configuration epoch, even
+   when the suspicion later turns out false — the epoch numbers
+   configuration changes, not deaths. *)
+let note_lease_expired t =
+  t.leases_expired <- t.leases_expired + 1;
+  t.cfg_epoch <- t.cfg_epoch + 1
+
+let epoch t = t.cfg_epoch
 
 (* Replay this shard's surviving update logs after physical server [dead]
    failed and [promoted] took over its stripes. The shard's retained lock
@@ -596,8 +609,10 @@ let replay t ~dir ~servers ~dead ~promoted ~probe ~now =
    [replay] across shards instead): promote the backup, replay, wake
    parked threads. *)
 let recover t ~dir ~servers ~dead ~probe ~now =
-  let promoted = Directory.promote dir ~dead in
   t.leases_expired <- t.leases_expired + 1;
+  t.cfg_epoch <- t.cfg_epoch + 1;
+  let promoted = Directory.promote ~epoch:t.cfg_epoch dir ~dead in
+  Memory_server.set_epoch servers.(promoted) (Directory.epoch dir);
   let replayed_here = replay t ~dir ~servers ~dead ~promoted ~probe ~now in
   List.iter
     (fun wake -> Desim.Engine.schedule_at t.engine now wake)

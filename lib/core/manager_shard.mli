@@ -187,6 +187,15 @@ val note_heartbeat : t -> unit
 (** One lease-renewal round trip to a memory server completed. *)
 
 val note_lease_expired : t -> unit
+(** A memory server's lease expired at this shard. Also bumps the shard's
+    configuration epoch (see {!epoch}) — the epoch counts configuration
+    changes, so a false suspicion bumps it too. *)
+
+val epoch : t -> int
+(** This shard's configuration epoch: the number of leases it has
+    expired. Recovery stamps the directory slots and the promoted
+    replica with it; traffic resolved under an older epoch is fenced
+    ({!Directory.Stale_epoch}). *)
 
 val replay :
   t -> dir:Directory.t -> servers:Memory_server.t array -> dead:int ->

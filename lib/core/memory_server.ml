@@ -16,6 +16,10 @@ type t = {
   mutable mirrors : int;
   mutable mirror_bytes : int;
   mutable degraded : int;
+  (* Configuration epoch this server last learned (stamped by recovery
+     and rejoin). A zombie primary keeps its pre-promotion epoch — the
+     visible mark distinguishing it from the epoch-current replica. *)
+  mutable epoch : int;
 }
 
 let create cfg layout ~id ~endpoint =
@@ -32,7 +36,8 @@ let create cfg layout ~id ~endpoint =
     backup = None;
     mirrors = 0;
     mirror_bytes = 0;
-    degraded = 0 }
+    degraded = 0;
+    epoch = 0 }
 
 let id t = t.id
 let endpoint t = t.endpoint
@@ -40,6 +45,9 @@ let service t = t.service
 
 let set_backup t b = t.backup <- Some b
 let backup t = t.backup
+
+let epoch t = t.epoch
+let set_epoch t e = t.epoch <- e
 
 let line t line_id =
   match Hashtbl.find_opt t.store line_id with
@@ -86,6 +94,14 @@ let note_degraded t = t.degraded <- t.degraded + 1
    already). *)
 let force_version t line_id v =
   if v > version t line_id then Hashtbl.replace t.versions line_id v
+
+(* Resync support: visit every materialized line with its contents and
+   version, in line-id order so callers stay schedule-deterministic. *)
+let iter_lines t f =
+  Hashtbl.fold (fun line_id _ acc -> line_id :: acc) t.store []
+  |> List.sort compare
+  |> List.iter (fun line_id ->
+      f line_id (line t line_id) (version t line_id))
 
 let service_time_for_bytes t bytes =
   t.cfg.Config.server_service

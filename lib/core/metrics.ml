@@ -117,6 +117,30 @@ let replication_of_system sys =
             (fun a t -> a + Thread_ctx.failover_waits t)
             0 (System.threads sys) }
 
+type detection = {
+  suspicions : int;  (** Lease expiries: servers the detector suspected. *)
+  false_suspicions : int;
+      (** Suspected servers that were in fact alive (gray failure). *)
+  fenced_messages : int;
+      (** Round trips rejected by the epoch fence (Stale_epoch). *)
+  rejoins : int;  (** Falsely suspected servers resynced back in. *)
+}
+
+(* Failure-detection counters are reported only for gray-failure runs
+   (partition/stall injection), so crash-run and healthy reports stay
+   byte-identical with the seed build. *)
+let detection_of_system sys =
+  let cfg = System.config sys in
+  if cfg.Config.partition_server = None && cfg.Config.stall_server = None
+  then None
+  else
+    let dir = System.directory sys in
+    Some
+      { suspicions = Directory.suspicions dir;
+        false_suspicions = Directory.false_suspicions dir;
+        fenced_messages = Directory.fenced dir;
+        rejoins = Directory.rejoins dir }
+
 type control = {
   shards : int;
   shard_heartbeats : int;  (** Inter-shard lease renewals completed. *)
@@ -158,6 +182,11 @@ let pp_replication ppf r =
     r.mirrored_writes r.mirror_bytes r.degraded_writes r.dead_sends
     r.heartbeats r.leases_expired r.promotions r.replayed_updates
     r.failover_waits
+
+let pp_detection ppf d =
+  Format.fprintf ppf
+    "detection: suspicions=%d false-suspicions=%d fenced=%d rejoins=%d"
+    d.suspicions d.false_suspicions d.fenced_messages d.rejoins
 
 let pp_faults ppf f =
   Format.fprintf ppf "faults: delayed=%d reordered=%d dropped=%d retried=%d"

@@ -73,6 +73,26 @@ val replication_of_system : System.t -> replication option
 
 val pp_replication : Format.formatter -> replication -> unit
 
+(** Failure-detection quality counters for gray-failure runs: how often
+    the lease detector fired, how often it was wrong, how much stale
+    traffic the epoch fence rejected, and whether the falsely suspected
+    server made it back in. *)
+type detection = {
+  suspicions : int;  (** Lease expiries: servers the detector suspected. *)
+  false_suspicions : int;
+      (** Suspected servers that were in fact alive (gray failure). *)
+  fenced_messages : int;
+      (** Round trips rejected by the epoch fence (Stale_epoch). *)
+  rejoins : int;  (** Falsely suspected servers resynced back in. *)
+}
+
+val detection_of_system : System.t -> detection option
+(** [None] unless the run injected a gray failure
+    ([Config.partition_server] or [Config.stall_server]), so crash-run
+    and healthy reports stay byte-identical with the seed build. *)
+
+val pp_detection : Format.formatter -> detection -> unit
+
 (** Sharded-control-plane counters: inter-shard failure detection, shard
     takeover, and home-page migration. *)
 type control = {

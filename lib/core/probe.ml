@@ -23,6 +23,8 @@ type t = {
   on_crash : time:Desim.Time.t -> node:int -> server:int -> unit;
   on_recovery :
     time:Desim.Time.t -> failed:int -> promoted:int -> replayed:int -> unit;
+  on_rejoin :
+    time:Desim.Time.t -> zombie:int -> primary:int -> copied:int -> unit;
 }
 
 let nothing =
@@ -35,4 +37,5 @@ let nothing =
     on_barrier = (fun ~thread:_ ~time:_ ~barrier:_ ~epoch:_ ~phase:_ -> ());
     on_sync = (fun ~thread:_ ~time:_ ~op:_ -> ());
     on_crash = (fun ~time:_ ~node:_ ~server:_ -> ());
-    on_recovery = (fun ~time:_ ~failed:_ ~promoted:_ ~replayed:_ -> ()) }
+    on_recovery = (fun ~time:_ ~failed:_ ~promoted:_ ~replayed:_ -> ());
+    on_rejoin = (fun ~time:_ ~zombie:_ ~primary:_ ~copied:_ -> ()) }

@@ -88,6 +88,18 @@ let spawn_lease_monitor t ~shard:si ~subset =
                Desim.Engine.delay
                  (Desim.Time.diff give_up (Desim.Engine.now t.engine));
              let now = Desim.Engine.now t.engine in
+             (* Classify the suspicion: a partitioned (or stalled) victim
+                is alive — the detector cannot tell, but the run's ground
+                truth can, and the metrics report the false-positive
+                rate. Recovery proceeds identically either way; only the
+                epoch fence makes the false case safe. *)
+             Directory.note_suspicion t.dir;
+             let truly_dead =
+               match Fabric.Network.faults t.network with
+               | Some f -> Fabric.Faults.node_dead f ~node:(1 + i) ~at:now
+               | None -> false
+             in
+             if not truly_dead then Directory.note_false_suspicion t.dir;
              (match t.probe with
               | Some p ->
                 p.Probe.on_crash ~time:now ~node:(1 + i) ~server:i
@@ -101,6 +113,49 @@ let spawn_lease_monitor t ~shard:si ~subset =
               | Some p ->
                 p.Probe.on_recovery ~time:now ~failed:i ~promoted ~replayed
               | None -> ()));
+          (* Gray-failure runs only: probe the suspected server after its
+             lease expired. While the partition is open every probe
+             attempt dies at the wall (a pure timing computation — no
+             simulated time passes); the first probe whose round trip
+             completes is the zombie answering after the heal, and it
+             rejoins as a backup via the epoch-stamped resync. *)
+          if
+            t.cfg.Config.partition_server <> None
+            || t.cfg.Config.stall_server <> None
+          then
+            List.iter
+              (fun i ->
+                 if
+                   !alive
+                   && Directory.failed t.dir i
+                   && not (Directory.rejoined t.dir)
+                 then begin
+                   let snode =
+                     Fabric.Scl.node (Memory_server.endpoint t.servers.(i))
+                   in
+                   try
+                     let arrival =
+                       Fabric.Scl.reliable_transfer net
+                         ~now:(Desim.Engine.now t.engine)
+                         ~src:mgr_node ~dst:snode
+                         ~bytes:Manager_shard.heartbeat_wire
+                     in
+                     let ack =
+                       Fabric.Scl.reliable_transfer net ~now:arrival
+                         ~src:snode ~dst:mgr_node
+                         ~bytes:Manager_shard.ack_wire
+                     in
+                     if Desim.Time.( < ) (Desim.Engine.now t.engine) ack then
+                       Desim.Engine.delay
+                         (Desim.Time.diff ack (Desim.Engine.now t.engine));
+                     ignore
+                       (Control_plane.rejoin_server t.cp ~dir:t.dir
+                          ~servers:t.servers ~zombie:i ~probe:t.probe
+                          ~now:(Desim.Engine.now t.engine)
+                        : int * int)
+                   with Fabric.Scl.Node_dead _ -> ()
+                 end)
+              subset;
           if !alive then loop ()
         end
       in
@@ -237,20 +292,42 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
   in
   (* Crash spec: memory server [srv] lives on fabric node [1 + srv];
      manager shard [s] lives on [shard_node s]. A fault policy is
-     attached exactly when the level is on or a crash is injected, so the
-     default configuration's fabric stays byte-exact with the seed
-     build. *)
+     attached exactly when the level is on or a crash / gray failure is
+     injected, so the default configuration's fabric stays byte-exact
+     with the seed build. *)
   let crash =
     match (config.Config.crash_server, config.Config.crash_shard) with
     | Some (srv, at), _ -> Some (1 + srv, Desim.Time.of_ns at)
     | None, Some (s, at) -> Some (shard_node s, Desim.Time.of_ns at)
     | None, None -> None
   in
+  (* Gray-failure specs, in fabric-node terms. Isolate cuts the victim
+     off from every peer; Control cuts only the manager-shard nodes, so
+     clients keep reaching the deposed primary — the zombie scenario. *)
+  let partition =
+    match config.Config.partition_server with
+    | None -> None
+    | Some (srv, scope, start, heal) ->
+      let peers =
+        match scope with
+        | Config.Isolate -> []
+        | Config.Control -> Array.to_list (Array.init nshards shard_node)
+      in
+      Some (1 + srv, peers, Desim.Time.of_ns start, Desim.Time.of_ns heal)
+  in
+  let stall =
+    match config.Config.stall_server with
+    | None -> None
+    | Some (srv, start, heal) ->
+      Some (1 + srv, Desim.Time.of_ns start, Desim.Time.of_ns heal)
+  in
   let faults =
-    match (config.Config.fault_level, crash) with
-    | Fabric.Faults.Off, None -> None
-    | level, _ ->
-      Some (Fabric.Faults.create ?crash ~seed:config.Config.seed ~level ())
+    match (config.Config.fault_level, crash, partition, stall) with
+    | Fabric.Faults.Off, None, None, None -> None
+    | level, _, _, _ ->
+      Some
+        (Fabric.Faults.create ?crash ?partition ?stall
+           ~seed:config.Config.seed ~level ())
   in
   let network =
     Fabric.Network.create ?faults engine ~profile:config.Config.fabric
@@ -312,6 +389,25 @@ let create ?(trace = Desim.Trace.null) ?(config = Config.default) ~threads () =
       if subset <> [] then spawn_lease_monitor t ~shard:s ~subset
     done;
   if nshards > 1 then spawn_shard_monitor t;
+  (* Partition heal-wake: a client can park in await_recovery after
+     escalating against the partitioned victim even though no lease ever
+     expires (Isolate windows shorter than the monitor's escalation).
+     Recovery would wake it; if recovery never runs, the heal does. All
+     partition-induced parks happen strictly before the heal instant
+     (every attempt of an escalated transfer was in-window), so one
+     drain at the heal instant suffices; when recovery already drained
+     the list this finds it empty. *)
+  (match config.Config.partition_server with
+   | Some (_, _, _, heal) ->
+     Desim.Engine.spawn engine ~name:"heal-wake" (fun () ->
+         Desim.Engine.delay
+           (Desim.Time.diff (Desim.Time.of_ns heal)
+              (Desim.Engine.now engine));
+         let now = Desim.Engine.now engine in
+         List.iter
+           (fun wake -> Desim.Engine.schedule_at engine now wake)
+           (Directory.take_waiters dir))
+   | None -> ());
   t
 
 let config t = t.cfg

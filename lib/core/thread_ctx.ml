@@ -201,6 +201,22 @@ let rec with_failover t f =
       Desim.Engine.suspend ~register:(fun ~wake ->
           Directory.await_recovery t.e.dir ~wake);
     with_failover t f
+  | Directory.Stale_epoch ->
+    (* The slot's epoch moved while the round trip was in flight (a
+       promotion happened under us, or our cached hint aimed at a
+       deposed primary). Nothing was applied; the directory is already
+       repointed, so re-running re-resolves and lands on the
+       epoch-current replica immediately. *)
+    with_failover t f
+
+(* Epoch fence around a memory-server round trip: capture the logical
+   slot's epoch before sending; after the reply lands, reject the whole
+   interaction if the epoch moved mid-flight — before any state mutates.
+   The server's ack is treated as carrying the epoch the requester
+   resolved under; a mismatch is the [Stale_epoch] reply of the
+   protocol. Healthy runs compare 0 = 0 and never allocate or raise. *)
+let fence t ~logical ~epoch =
+  Directory.fence t.e.dir ~logical ~epoch
 
 (* The control-plane analogue: absorb a fail-stop crash of a manager
    shard. Wait out the paid retransmission timeouts, park until the shard
@@ -374,7 +390,13 @@ let flush_entry t (entry : Cache.entry) =
       let payload = Diff.payload_bytes diff in
       let srv, v =
         with_failover t (fun () ->
-            let srv = server_of t entry.Cache.line in
+            let logical =
+              Directory.logical_of_line t.e.dir t.e.cfg
+                ~line:entry.Cache.line
+            in
+            let epoch = Directory.epoch_of t.e.dir ~logical in
+            let srv = t.e.servers.(Directory.physical_of_logical t.e.dir
+                                     logical) in
             let sep = Memory_server.endpoint srv in
             let arrival =
               transfer_to t ~dst:sep ~bytes:(Diff.wire_bytes diff)
@@ -390,6 +412,12 @@ let flush_entry t (entry : Cache.entry) =
               transfer_from t ~src:sep ~at:ready ~bytes:diff_reply_wire
             in
             delay_until t reply;
+            (* Epoch fence before anything mutates: if a promotion moved
+               the slot while the round trip was in flight, the ack we
+               just received came from a deposed primary (or raced the
+               repointing) — it is a [Stale_epoch] reply, not a commit.
+               with_failover re-runs against the epoch-current replica. *)
+            fence t ~logical ~epoch;
             (* Re-resolve at apply time: a home migration may have moved
                the line while the round trip was in flight; the diff must
                land at the line's current home or it would be lost in the
@@ -457,6 +485,7 @@ let flush_dirty_all t =
              batch
          in
          with_failover t (fun () ->
+             let epoch = Directory.epoch_of t.e.dir ~logical:s in
              let srv =
                t.e.servers.(Directory.physical_of_logical t.e.dir s)
              in
@@ -474,6 +503,10 @@ let flush_dirty_all t =
                  ~bytes:(diff_reply_wire + (12 * List.length batch))
              in
              delay_until t reply;
+             (* Epoch fence before the batch mutates anything (see
+                flush_entry): a mid-flight promotion fences the whole
+                batch and with_failover re-runs it on the new primary. *)
+             fence t ~logical:s ~epoch;
              if mirrored then Memory_server.note_mirror srv ~bytes:payload;
              List.map
                (fun ((entry : Cache.entry), diff) ->
@@ -597,7 +630,9 @@ let maybe_prefetch t line =
      && Option.is_none (Cache.peek t.cache line)
      && Cache.pending_start t.cache line
   then begin
-    let srv = server_of t line in
+    let logical = Directory.logical_of_line t.e.dir t.e.cfg ~line in
+    let epoch = Directory.epoch_of t.e.dir ~logical in
+    let srv = t.e.servers.(Directory.physical_of_logical t.e.dir logical) in
     let sep = Memory_server.endpoint srv in
     match
       Fabric.Scl.async_read
@@ -606,8 +641,17 @@ let maybe_prefetch t line =
         ~src:t.endpoint ~dst:sep
         ~bytes:(t.e.layout.Layout.line_bytes + fetch_reply_overhead)
         ~on_complete:(fun _arrival ->
-          let data, version = Memory_server.fetch srv line in
-          Cache.pending_complete t.cache line ~data ~version)
+          if Directory.epoch_of t.e.dir ~logical <> epoch then begin
+            (* The prefetched reply was assembled under a deposed
+               mapping (promotion raced it): fence it instead of
+               installing — a later demand fetch re-resolves. *)
+            Directory.note_fenced t.e.dir;
+            Cache.pending_abort t.cache line
+          end
+          else begin
+            let data, version = Memory_server.fetch srv line in
+            Cache.pending_complete t.cache line ~data ~version
+          end)
         ()
     with
     | () -> ()
@@ -641,7 +685,9 @@ let rec demand_fetch t line : Cache.entry =
        the asynchronous request for the adjacent line are placed together,
        so the prefetch overlaps the demand fetch. *)
     maybe_prefetch t (line + 1);
-    let srv = server_of t line in
+    let logical = Directory.logical_of_line t.e.dir t.e.cfg ~line in
+    let epoch = Directory.epoch_of t.e.dir ~logical in
+    let srv = t.e.servers.(Directory.physical_of_logical t.e.dir logical) in
     let sep = Memory_server.endpoint srv in
     let arrival = transfer_to t ~dst:sep ~bytes:fetch_request_wire in
     let served =
@@ -653,6 +699,11 @@ let rec demand_fetch t line : Cache.entry =
         ~bytes:(t.e.layout.Layout.line_bytes + fetch_reply_overhead)
     in
     delay_until t reply;
+    (* Epoch fence before installing: a reply assembled by a deposed
+       primary (promotion raced the round trip) must not enter the
+       cache — the caller's failover wrapper re-fetches from the
+       epoch-current replica. *)
+    fence t ~logical ~epoch;
     let data, version = Memory_server.fetch srv line in
     if traced t then
       trace t ~tag:"fetch" "t%d line=%d v=%d from server %d" t.id line
@@ -1133,6 +1184,7 @@ let flush_update_log t log =
          let batch = List.rev (Hashtbl.find by_server s) in
          let wire = Update.log_wire_bytes batch in
          with_failover t (fun () ->
+             let epoch = Directory.epoch_of t.e.dir ~logical:s in
              let srv =
                t.e.servers.(Directory.physical_of_logical t.e.dir s)
              in
@@ -1149,6 +1201,10 @@ let flush_update_log t log =
                transfer_from t ~src:sep ~at:ready ~bytes:diff_reply_wire
              in
              delay_until t reply;
+             (* Epoch fence before the log applies (see flush_entry):
+                the ack either commits under the epoch we resolved or
+                the whole batch re-runs — never half-applied. *)
+             fence t ~logical:s ~epoch;
              if mirrored then Memory_server.note_mirror srv ~bytes:wire;
              List.iter
                (fun u ->

@@ -40,13 +40,31 @@ let params_of_level = function
     { jitter_p = 0.8; jitter_max = 4_000; reorder_p = 0.2;
       reorder_max = 30_000; drop_p = 0.08; max_consecutive_drops = 3 }
 
+(* Extra one-way latency on every message touching a stalled node while
+   its stall window is open. Several RTTs on the modeled fabrics: enough
+   to blow retry timeouts (and, if the window outlives the backoff
+   budget, to trigger a false suspicion) without stopping traffic. *)
+let stall_penalty_ns = 25_000
+
+(* Ring capacity of the in-memory fault trace (see trace_tail). *)
+let trace_cap = 64
+
 type t = {
   level : level;
   p : params;
+  seed : int;
   rng : Desim.Rng.t;
   (* Fail-stop crash spec: this node is dead from the given instant on.
      At most one node crashes per run (single-failure model). *)
   crash : (int * Desim.Time.t) option;
+  (* Gray-failure specs. A partition makes (victim, peer) pairs
+     unreachable inside [start, heal): peers = [] isolates the victim
+     from everyone, a non-empty list blocks only those pairs. A stall
+     adds stall_penalty_ns to every delivery touching the victim inside
+     its window. Unlike crash, the victim keeps executing throughout and
+     both windows heal. *)
+  partition : (int * int list * Desim.Time.t * Desim.Time.t) option;
+  stall : (int * Desim.Time.t * Desim.Time.t) option;
   (* Delivery-order floor per (src,dst): the fabric reorders traffic only
      across distinct pairs (differential jitter); within one pair it
      delivers in order, like a reliable-connection QP. *)
@@ -58,23 +76,58 @@ type t = {
   mutable dropped : int;
   mutable retried : int;
   mutable dead_sends : int;
+  mutable unreachable_sends : int;
+  (* Bounded ring of injected events with instants, for failing-seed
+     artifacts: a failure is diagnosable from the log alone. *)
+  trace : string option array;
+  mutable trace_next : int;
+  mutable trace_total : int;
 }
 
-let create ?crash ~seed ~level () =
+let create ?crash ?partition ?stall ~seed ~level () =
   { level;
     p = params_of_level level;
+    seed;
     rng = Desim.Rng.create ~seed;
     crash;
+    partition;
+    stall;
     last_arrival = Hashtbl.create 64;
     drops_in_row = Hashtbl.create 64;
     delayed = 0;
     reordered = 0;
     dropped = 0;
     retried = 0;
-    dead_sends = 0 }
+    dead_sends = 0;
+    unreachable_sends = 0;
+    trace = Array.make trace_cap None;
+    trace_next = 0;
+    trace_total = 0 }
 
 let level t = t.level
 let crash t = t.crash
+let partition t = t.partition
+let stall t = t.stall
+
+let record t ev =
+  t.trace.(t.trace_next) <- Some ev;
+  t.trace_next <- (t.trace_next + 1) mod trace_cap;
+  t.trace_total <- t.trace_total + 1
+
+let trace_tail t =
+  let tail = ref [] in
+  for i = trace_cap - 1 downto 0 do
+    let slot = (t.trace_next + i) mod trace_cap in
+    match t.trace.(slot) with
+    | Some ev -> tail := ev :: !tail
+    | None -> ()
+  done;
+  let tail = !tail in
+  if t.trace_total > trace_cap then
+    Printf.sprintf "... (%d earlier fault events elided)"
+      (t.trace_total - trace_cap)
+    :: tail
+  else tail
 
 (* Deadness is a pure function of time, not a mutable flag: protocol
    timing chains are computed eagerly at future instants, so callers need
@@ -84,9 +137,32 @@ let node_dead t ~node ~at =
   | Some (n, since) -> n = node && Desim.Time.( <= ) since at
   | None -> false
 
+let in_window ~start ~heal ~at =
+  Desim.Time.( <= ) start at && Desim.Time.( < ) at heal
+
+(* If the (src,dst) pair is blocked by an open partition window, return
+   the victim node the sender should blame — always the partitioned node,
+   never the other endpoint, so escalation suspects the right server no
+   matter which leg of a round trip hit the wall. Pure in time, like
+   node_dead, for the same eager-timing reason. *)
+let unreachable_peer t ~src ~dst ~at =
+  match t.partition with
+  | Some (victim, peers, start, heal)
+    when in_window ~start ~heal ~at
+         && (src = victim || dst = victim)
+         && (peers = [] || List.mem (if src = victim then dst else src) peers)
+    -> Some victim
+  | _ -> None
+
+let note_unreachable t ~src ~dst ~at =
+  t.unreachable_sends <- t.unreachable_sends + 1;
+  record t
+    (Printf.sprintf "t=%dns unreachable %d->%d (partition)"
+       (Desim.Time.to_ns at) src dst)
+
 let note_dead_send t = t.dead_sends <- t.dead_sends + 1
 
-let should_drop t ~src ~dst =
+let should_drop ?at t ~src ~dst =
   if t.p.drop_p = 0. then false
   else begin
     let key = (src, dst) in
@@ -95,6 +171,12 @@ let should_drop t ~src ~dst =
     else if Desim.Rng.float t.rng 1.0 < t.p.drop_p then begin
       Hashtbl.replace t.drops_in_row key (row + 1);
       t.dropped <- t.dropped + 1;
+      (match at with
+       | Some at ->
+         record t
+           (Printf.sprintf "t=%dns drop %d->%d (%d in a row)"
+              (Desim.Time.to_ns at) src dst (row + 1))
+       | None -> ());
       true
     end
     else false
@@ -110,9 +192,21 @@ let perturb t ~src ~dst ~arrival =
   end;
   if t.p.reorder_p > 0. && Desim.Rng.float t.rng 1.0 < t.p.reorder_p
   then begin
-    extra := !extra + 1 + Desim.Rng.int t.rng t.p.reorder_max;
-    t.reordered <- t.reordered + 1
+    let d = 1 + Desim.Rng.int t.rng t.p.reorder_max in
+    extra := !extra + d;
+    t.reordered <- t.reordered + 1;
+    record t
+      (Printf.sprintf "t=%dns reorder %d->%d (+%dns)"
+         (Desim.Time.to_ns arrival) src dst d)
   end;
+  (* Stall penalty is a constant (no RNG draw, so attaching a stall spec
+     does not shift the jitter/reorder/drop stream of the same seed). *)
+  (match t.stall with
+   | Some (victim, start, heal)
+     when (src = victim || dst = victim)
+          && in_window ~start ~heal ~at:arrival ->
+     extra := !extra + stall_penalty_ns
+   | _ -> ());
   let arrival = Desim.Time.add arrival !extra in
   let arrival =
     match Hashtbl.find_opt t.last_arrival key with
@@ -125,17 +219,46 @@ let perturb t ~src ~dst ~arrival =
 
 let note_retry t = t.retried <- t.retried + 1
 
+(* Seeded, draw-free backoff jitter: a pure hash of (seed, src, dst,
+   attempt). Retries by different senders land at different instants, so
+   a heal does not release a synchronized stampede onto one server — yet
+   the schedule is still a pure function of the seed, and computing it
+   perturbs no RNG stream. *)
+let retry_jitter t ~src ~dst ~attempt =
+  let mix h k =
+    let h = h lxor (k * 0x9E3779B1) in
+    let h = (h lxor (h lsr 16)) * 0x85EBCA6B in
+    h lxor (h lsr 13)
+  in
+  let h = mix (mix (mix 0x6A09E667 t.seed) (src lxor (dst lsl 8))) attempt in
+  h land 0x3FF
+
 let messages_delayed t = t.delayed
 let messages_reordered t = t.reordered
 let messages_dropped t = t.dropped
 let messages_retried t = t.retried
 let messages_dead t = t.dead_sends
+let messages_unreachable t = t.unreachable_sends
 
 let pp ppf t =
   Format.fprintf ppf "faults=%s delayed=%d reordered=%d dropped=%d retried=%d"
     (level_name t.level) t.delayed t.reordered t.dropped t.retried;
-  match t.crash with
+  (match t.crash with
+   | None -> ()
+   | Some (n, at) ->
+     Format.fprintf ppf " crash=node%d@%a dead-sends=%d" n Desim.Time.pp at
+       t.dead_sends);
+  (match t.partition with
+   | None -> ()
+   | Some (n, peers, start, heal) ->
+     Format.fprintf ppf " partition=node%d%s@[%a,%a) unreachable=%d" n
+       (match peers with
+        | [] -> ""
+        | ps ->
+          "/" ^ String.concat "," (List.map string_of_int ps))
+       Desim.Time.pp start Desim.Time.pp heal t.unreachable_sends);
+  match t.stall with
   | None -> ()
-  | Some (n, at) ->
-    Format.fprintf ppf " crash=node%d@%a dead-sends=%d" n Desim.Time.pp at
-      t.dead_sends
+  | Some (n, start, heal) ->
+    Format.fprintf ppf " stall=node%d@[%a,%a)" n Desim.Time.pp start
+      Desim.Time.pp heal

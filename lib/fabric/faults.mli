@@ -12,10 +12,16 @@
     - {b drop}: transient losses, bounded to at most
       [max_consecutive_drops] in a row per (src,dst) pair, so the
       retry/timeout/backoff loop in {!Scl.reliable_transfer} always
-      terminates.
+      terminates;
+    - {b partition} (gray failure): a victim node is unreachable from a
+      peer set for a bounded window, then heals. Unlike [crash], the
+      victim keeps executing — it can be falsely suspected and fenced;
+    - {b stall} (gray failure): every delivery touching the victim pays a
+      constant multi-RTT penalty inside the window, then heals.
 
     Counters record what was injected; {!Samhita.Metrics} and
-    [Harness.Report] surface them. *)
+    [Harness.Report] surface them, and {!trace_tail} yields a bounded
+    event trace with instants for failing-seed artifacts. *)
 
 type level = Off | Low | Medium | High
 
@@ -24,42 +30,91 @@ val level_of_string : string -> (level, string) result
 
 type t
 
-val create : ?crash:int * Desim.Time.t -> seed:int -> level:level -> unit -> t
+val create :
+  ?crash:int * Desim.Time.t ->
+  ?partition:int * int list * Desim.Time.t * Desim.Time.t ->
+  ?stall:int * Desim.Time.t * Desim.Time.t ->
+  seed:int ->
+  level:level ->
+  unit ->
+  t
 (** [crash] is a fail-stop spec [(node, instant)]: the node is dead from
     that instant on (it neither sends nor receives; see {!node_dead}). At
-    most one node crashes per run. *)
+    most one node crashes per run.
+
+    [partition] is a gray-failure spec [(victim, peers, start, heal)]:
+    inside [[start, heal)] every transmission between [victim] and a node
+    in [peers] ([peers = []] meaning {e everyone}) fails with
+    [`Unreachable victim]. The victim keeps executing throughout, and the
+    window heals. [stall] is [(victim, start, heal)]: deliveries touching
+    [victim] inside the window pay {!stall_penalty_ns} extra. *)
 
 val level : t -> level
 
 val crash : t -> (int * Desim.Time.t) option
+
+val partition : t -> (int * int list * Desim.Time.t * Desim.Time.t) option
+
+val stall : t -> (int * Desim.Time.t * Desim.Time.t) option
+
+val stall_penalty_ns : int
+(** Constant extra one-way latency (ns) on deliveries touching a stalled
+    node while its window is open. *)
 
 val node_dead : t -> node:int -> at:Desim.Time.t -> bool
 (** Whether the crash spec has [node] dead at instant [at]. Pure in time —
     callers evaluating eagerly-computed timing chains may ask about any
     instant, past or future. *)
 
+val unreachable_peer : t -> src:int -> dst:int -> at:Desim.Time.t -> int option
+(** If the (src,dst) pair is blocked by an open partition window at [at],
+    the victim node the sender should blame (always the partitioned node,
+    never the other endpoint — so escalation suspects the right server no
+    matter which leg of a round trip hit the wall). Pure in time, like
+    {!node_dead}. *)
+
+val note_unreachable : t -> src:int -> dst:int -> at:Desim.Time.t -> unit
+(** A transmission hit a closed partition at instant [at] (recorded by
+    {!Network.try_transfer}); counts it and appends to the trace. *)
+
 val note_dead_send : t -> unit
 (** A transmission was addressed to a node that is dead at the send
     instant (recorded by {!Network.try_transfer}). *)
 
-val should_drop : t -> src:int -> dst:int -> bool
+val should_drop : ?at:Desim.Time.t -> t -> src:int -> dst:int -> bool
 (** Decide (one RNG draw when the level drops at all) whether this
     transmission is lost. Tracks per-pair consecutive drops and refuses to
-    exceed the level's bound. *)
+    exceed the level's bound. [at], when given, timestamps the trace
+    entry; it never affects the decision. *)
 
 val perturb : t -> src:int -> dst:int -> arrival:Desim.Time.t -> Desim.Time.t
-(** Jitter/reorder a delivered message's arrival instant and clamp it to
-    the pair's delivery-order floor. Also resets the pair's
-    consecutive-drop budget. *)
+(** Jitter/reorder a delivered message's arrival instant, add the stall
+    penalty when a stall window is open, and clamp to the pair's
+    delivery-order floor. Also resets the pair's consecutive-drop
+    budget. The stall penalty is draw-free: attaching a stall spec does
+    not shift the seed's jitter/reorder/drop stream. *)
 
 val note_retry : t -> unit
 (** A sender retransmitted after a timeout (called by
     {!Scl.reliable_transfer}). *)
+
+val retry_jitter : t -> src:int -> dst:int -> attempt:int -> int
+(** Seeded backoff jitter in ns (0–1023): a pure hash of (seed, src, dst,
+    attempt), no RNG draw. Distinct senders' retries of the same attempt
+    land at distinct instants, so a heal does not release a synchronized
+    retry stampede, yet the schedule stays a pure function of the seed. *)
+
+val trace_tail : t -> string list
+(** The most recent injected fault events (drops, reorders, unreachable
+    sends) with instants, oldest first, bounded to a fixed-size ring; a
+    leading marker notes how many earlier events were elided. Lets a
+    failing-seed artifact carry the fault schedule, not just the seed. *)
 
 val messages_delayed : t -> int
 val messages_reordered : t -> int
 val messages_dropped : t -> int
 val messages_retried : t -> int
 val messages_dead : t -> int
+val messages_unreachable : t -> int
 
 val pp : Format.formatter -> t -> unit

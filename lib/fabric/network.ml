@@ -100,7 +100,29 @@ let try_transfer t ~now ~src ~dst ~bytes =
       Faults.note_dead_send f;
       `Node_dead dst
     end
-  | Some f when src <> dst && Faults.should_drop f ~src ~dst ->
+  | Some f when src <> dst
+                && Faults.unreachable_peer f ~src ~dst ~at:now <> None ->
+    (* A closed partition: the message leaves the sender, occupies the
+       injection port, and dies at the wall. Both endpoints are alive, so
+       the sender pays exactly what a drop costs — only escalation after
+       repeated timeouts distinguishes "slow" from "gone". *)
+    check_node t src;
+    check_node t dst;
+    if bytes < 0 then invalid_arg "Network.try_transfer: negative size";
+    t.messages <- t.messages + 1;
+    t.bytes <- t.bytes + bytes;
+    let wire_bytes = bytes + t.profile.Profile.header_bytes in
+    let start = Desim.Time.add now t.profile.Profile.post_overhead in
+    ignore (Link.occupy t.tx.(src) ~now:start ~bytes:wire_bytes
+            : Desim.Time.t);
+    Faults.note_unreachable f ~src ~dst ~at:now;
+    let victim =
+      match Faults.unreachable_peer f ~src ~dst ~at:now with
+      | Some v -> v
+      | None -> assert false
+    in
+    `Unreachable victim
+  | Some f when src <> dst && Faults.should_drop ~at:now f ~src ~dst ->
     check_node t src;
     check_node t dst;
     if bytes < 0 then invalid_arg "Network.try_transfer: negative size";

@@ -32,16 +32,23 @@ val transfer :
 
 val try_transfer :
   t -> now:Desim.Time.t -> src:node -> dst:node -> bytes:int ->
-  [ `Delivered of Desim.Time.t | `Dropped | `Node_dead of node ]
-(** Like {!transfer}, but subject to the fault policy's transient drops
-    and fail-stop crashes. [`Dropped] means the message occupied the
-    injection port and was lost; the sender must time out and retransmit
-    ({!Scl.reliable_transfer}). [`Node_dead n] means an endpoint is dead
-    at the send instant: a dead destination swallows the message (it
-    still occupied the injection port), a dead source cannot transmit at
-    all. Deadness is evaluated at the send instant, so in-flight traffic
-    outlives its sender. Without an attached {!Faults.t} (and on
-    loopbacks) this always delivers. *)
+  [ `Delivered of Desim.Time.t
+  | `Dropped
+  | `Node_dead of node
+  | `Unreachable of node ]
+(** Like {!transfer}, but subject to the fault policy's transient drops,
+    fail-stop crashes and partitions. [`Dropped] means the message
+    occupied the injection port and was lost; the sender must time out
+    and retransmit ({!Scl.reliable_transfer}). [`Node_dead n] means an
+    endpoint is dead at the send instant: a dead destination swallows the
+    message (it still occupied the injection port), a dead source cannot
+    transmit at all. Deadness is evaluated at the send instant, so
+    in-flight traffic outlives its sender. [`Unreachable n] means an open
+    partition window blocks the pair: both endpoints are alive, the
+    message occupied the injection port and died at the wall, and [n] is
+    the partitioned victim the sender should blame (whichever leg hit the
+    wall). Without an attached {!Faults.t} (and on loopbacks) this always
+    delivers. *)
 
 val one_way_estimate : t -> bytes:int -> Desim.Time.span
 (** Uncontended transfer time for a message of this size (for tests and

@@ -35,19 +35,29 @@ let reliable_transfer net ~now ~src ~dst ~bytes =
   match Network.faults net with
   | None -> Network.transfer net ~now ~src ~dst ~bytes
   | Some f ->
+    (* Each backoff carries seeded per-(src,dst,attempt) jitter so
+       senders that timed out together (say, against one partitioned
+       server) do not retry in lockstep after the heal. *)
+    let backoff attempt now =
+      Desim.Time.add now
+        (retry_timeout net ~bytes ~attempt
+         + Faults.retry_jitter f ~src ~dst ~attempt)
+    in
     let rec go attempt now =
       match Network.try_transfer net ~now ~src ~dst ~bytes with
       | `Delivered at -> at
       | `Dropped ->
         Faults.note_retry f;
-        go (attempt + 1)
-          (Desim.Time.add now (retry_timeout net ~bytes ~attempt))
-      | `Node_dead n ->
+        go (attempt + 1) (backoff attempt now)
+      | `Node_dead n | `Unreachable n ->
+        (* An unreachable peer is indistinguishable from a dead one on
+           the wire: same retry budget, same escalation. The difference
+           only shows later — a partitioned victim outlives the window
+           and can be fenced and rejoined. *)
         if attempt >= dead_retry_budget then raise (Node_dead (n, now))
         else begin
           Faults.note_retry f;
-          go (attempt + 1)
-            (Desim.Time.add now (retry_timeout net ~bytes ~attempt))
+          go (attempt + 1) (backoff attempt now)
         end
     in
     go 0 now

@@ -50,11 +50,16 @@ val request_bytes : int
 (** {2 Reliable delivery under fault injection} *)
 
 exception Node_dead of Network.node * Desim.Time.t
-(** [Node_dead (n, give_up)] — the peer [n] is fail-stop dead:
-    {!reliable_transfer} exhausted its retry budget against a node the
-    crash spec has dead at every send instant. [give_up] is the send
-    instant of the final (failed) attempt, i.e. the earliest time the
-    sender can know; all the timeouts paid along the way are included. *)
+(** [Node_dead (n, give_up)] — the peer [n] is {e suspected} fail-stop
+    dead: {!reliable_transfer} exhausted its retry budget against a node
+    that swallowed every attempt, because it is crash-dead
+    ([`Node_dead]) or because a partition window blocks the pair
+    ([`Unreachable]). The two are indistinguishable on the wire — that
+    is the gray-failure point; a suspicion against a partitioned victim
+    is {e false} and the epoch fence (see PROTOCOL.md) keeps it safe.
+    [give_up] is the send instant of the final (failed) attempt, i.e.
+    the earliest time the sender can know; all the timeouts paid along
+    the way are included. *)
 
 val dead_retry_budget : int
 (** Retransmissions paid before {!reliable_transfer} escalates to
@@ -67,8 +72,10 @@ val reliable_transfer :
   bytes:int -> Desim.Time.t
 (** Arrival instant of a message that is retransmitted on loss: each
     attempt may be dropped by the network's {!Faults} policy; the sender
-    times out after ~one round trip (doubling per attempt, capped) and
-    retries. With no fault policy this is exactly {!Network.transfer}.
+    times out after ~one round trip (doubling per attempt, capped, plus
+    seeded per-(src,dst,attempt) jitter — {!Faults.retry_jitter} — so
+    concurrent senders' retry instants diverge instead of stampeding)
+    and retries. With no fault policy this is exactly {!Network.transfer}.
     Pure timing computation — callable outside a process, like
     [Network.transfer]. The protocol layers ({!Samhita.Thread_ctx},
     {!Samhita.Manager}) route every protocol message through this, which

@@ -25,6 +25,7 @@ type t = {
   san : Analysis.Regcsan.t option;
   faults : Samhita.Metrics.faults option;
   repl : Samhita.Metrics.replication option;
+  detect : Samhita.Metrics.detection option;
   ctl : Samhita.Metrics.control option;
 }
 
@@ -63,6 +64,7 @@ let of_system sys =
     san = Samhita.System.sanitizer sys;
     faults = Samhita.Metrics.faults_of_system sys;
     repl = Samhita.Metrics.replication_of_system sys;
+    detect = Samhita.Metrics.detection_of_system sys;
     ctl = Samhita.Metrics.control_of_system sys }
 
 let fabric_bytes t = t.net_bytes
@@ -92,6 +94,7 @@ let sanitizer_findings t =
 
 let fault_counters t = t.faults
 let replication_counters t = t.repl
+let detection_counters t = t.detect
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>== run report ==@,";
@@ -120,6 +123,11 @@ let pp ppf t =
    | Some r ->
      Format.fprintf ppf "fault tolerance     %a@,"
        Samhita.Metrics.pp_replication r);
+  (match t.detect with
+   | None -> ()
+   | Some d ->
+     Format.fprintf ppf "failure detection   %a@,"
+       Samhita.Metrics.pp_detection d);
   (match t.ctl with
    | None -> ()
    | Some c ->

@@ -39,3 +39,8 @@ val fault_counters : t -> Samhita.Metrics.faults option
 val replication_counters : t -> Samhita.Metrics.replication option
 (** Crash-fault-tolerance counters (mirrors, heartbeats, promotions,
     replays), when the run had replication or an injected crash. *)
+
+val detection_counters : t -> Samhita.Metrics.detection option
+(** Failure-detection quality counters (suspicions, false suspicions,
+    fenced messages, rejoins), when the run injected a gray failure
+    (partition or stall). *)

@@ -28,6 +28,8 @@ type t = {
   mutable crashes_rev : (int * int * int) list;  (* time, node, server *)
   mutable recoveries_rev : (int * int * int * int) list;
       (* time, failed, promoted, replayed *)
+  mutable rejoins_rev : (int * int * int * int) list;
+      (* time, zombie, primary, copied *)
   mutable violations_rev : violation list;
   mutable n_violations : int;
   mutable events : int;
@@ -48,6 +50,7 @@ let create ~config () =
     last_arrive = Hashtbl.create 64;
     crashes_rev = [];
     recoveries_rev = [];
+    rejoins_rev = [];
     violations_rev = [];
     n_violations = 0;
     events = 0;
@@ -59,6 +62,7 @@ let create ~config () =
 let violations t = List.rev t.violations_rev
 let crashes t = List.length t.crashes_rev
 let recoveries t = List.length t.recoveries_rev
+let rejoins t = List.length t.rejoins_rev
 let events t = t.events
 let reads_checked t = t.reads_checked
 let digest t = t.digest
@@ -152,6 +156,20 @@ let on_publish t ~thread ~time ~server ~line ~version ~data =
   fold t 6 (hash_bytes data lxor time);
   record t "t=%d publish thread=%d server=%d line=%d v=%d" time thread
     server line version;
+  (* Split-brain fence check: once recovery has deposed a primary, no
+     client may ever again publish through it — the epoch fence must
+     reject such round trips before any state mutates. A publication at
+     the deposed server strictly after its recovery means two primaries
+     served the same stripe. *)
+  List.iter
+    (fun (rt, failed, _, _) ->
+       if failed = server && time > rt then
+         note_violation t ~v_class:"split-brain"
+           (Printf.sprintf
+              "server %d served a publication at t=%dns but was deposed by \
+               recovery at t=%dns (zombie primary not fenced)"
+              server time rt))
+    t.recoveries_rev;
   let base = line * t.line_bytes in
   let words = t.line_bytes / 8 in
   for w = 0 to words - 1 do
@@ -271,6 +289,13 @@ let on_recovery t ~time ~failed ~promoted ~replayed =
     promoted replayed;
   t.recoveries_rev <- (time, failed, promoted, replayed) :: t.recoveries_rev
 
+let on_rejoin t ~time ~zombie ~primary ~copied =
+  t.events <- t.events + 1;
+  fold t 16 (zombie lxor (primary lsl 8) lxor (copied lsl 16) lxor time);
+  record t "t=%d REJOIN zombie=%d primary=%d copied=%d" time zombie primary
+    copied;
+  t.rejoins_rev <- (time, zombie, primary, copied) :: t.rejoins_rev
+
 let probe t =
   let ns = Desim.Time.to_ns in
   { Samhita.Probe.on_read = (fun ~thread ~time ~addr ~len ~value ->
@@ -289,7 +314,9 @@ let probe t =
     on_crash = (fun ~time ~node ~server ->
         on_crash t ~time:(ns time) ~node ~server);
     on_recovery = (fun ~time ~failed ~promoted ~replayed ->
-        on_recovery t ~time:(ns time) ~failed ~promoted ~replayed) }
+        on_recovery t ~time:(ns time) ~failed ~promoted ~replayed);
+    on_rejoin = (fun ~time ~zombie ~primary ~copied ->
+        on_rejoin t ~time:(ns time) ~zombie ~primary ~copied) }
 
 let attach t sys = Samhita.System.set_probe sys (probe t)
 
@@ -387,6 +414,48 @@ let finalize t sys =
             end)
          t.last_line)
     t.recoveries_rev;
+  (* Rejoin convergence: after a falsely suspected server is resynced
+     back in as a backup, it must end the run bit-identical to the
+     primary it now backs, for every line that primary currently serves —
+     the resync copy plus post-heal mirroring leave no stale residue.
+     Lines are drawn from the publication history (the only lines with
+     observable state) and filtered through the directory so repointed
+     stripes are compared against their current home. *)
+  (let dir = Samhita.System.directory sys in
+   let cfg = Samhita.System.config sys in
+   List.iter
+     (fun (_, zombie, primary, _) ->
+        let zsrv = servers.(zombie) and psrv = servers.(primary) in
+        let checked = Hashtbl.create 64 in
+        Hashtbl.iter
+          (fun (_, line) _ ->
+             if
+               (not (Hashtbl.mem checked line))
+               && Samhita.Directory.server_of_line dir cfg ~line = primary
+             then begin
+               Hashtbl.replace checked line ();
+               let pv = Samhita.Memory_server.version psrv line in
+               let zv = Samhita.Memory_server.version zsrv line in
+               if zv <> pv then
+                 note_violation t ~v_class:"rejoin-divergence"
+                   (Printf.sprintf
+                      "rejoined server %d holds line %d at version %d but \
+                       its primary %d is at version %d"
+                      zombie line zv primary pv)
+               else if
+                 not
+                   (Bytes.equal
+                      (Samhita.Memory_server.line zsrv line)
+                      (Samhita.Memory_server.line psrv line))
+               then
+                 note_violation t ~v_class:"rejoin-divergence"
+                   (Printf.sprintf
+                      "rejoined server %d line %d (version %d) differs \
+                       bytewise from its primary %d"
+                      zombie line zv primary)
+             end)
+          t.last_line)
+     t.rejoins_rev);
   (* Barrier episodes must balance: every released thread departs. *)
   Hashtbl.iter
     (fun (barrier, epoch) (arrivals, departures) ->

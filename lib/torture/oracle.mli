@@ -71,6 +71,14 @@ val recoveries : t -> int
 (** Completed recoveries observed. {!finalize} checks each one for
     version-consistent promotion and no lost acknowledged write. *)
 
+val rejoins : t -> int
+(** Zombie-rejoin events observed (a falsely suspected server resynced
+    back in as a backup after its partition healed). {!finalize} checks
+    each one for convergence: the rejoined replica must end the run
+    bit-identical to the primary it backs. A publication routed through
+    a deposed primary after its recovery is flagged as ["split-brain"]
+    as it happens. *)
+
 val reads_checked : t -> int
 (** Word reads actually checked against the legality set (i.e. excluding
     tainted words) — a vacuity guard for tests. *)

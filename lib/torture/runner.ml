@@ -23,7 +23,9 @@ type outcome = {
   o_trace : string list;
   o_faults : Samhita.Metrics.faults option;
   o_repl : Samhita.Metrics.replication option;
+  o_detect : Samhita.Metrics.detection option;
   o_ctl : Samhita.Metrics.control option;
+  o_fault_trace : string list;
 }
 
 (* Seed-derived system geometry for the compute kernels: small lines and
@@ -31,7 +33,7 @@ type outcome = {
    history lengths flip acquirers between patch and invalidate paths. The
    racy kernel keeps the default geometry — its per-class defect counts
    are pinned by a test and must not depend on eviction accidents. *)
-let config_for ~kernel ~level ~crash ~crash_shard ~seed rng =
+let config_for ~kernel ~level ~crash ~crash_shard ~partition ~seed rng =
   let base =
     match kernel with
     | Racy ->
@@ -94,13 +96,45 @@ let config_for ~kernel ~level ~crash ~crash_shard ~seed rng =
       Samhita.Config.manager_shards = shards;
       crash_shard = Some (victim, at) }
   end
+  else if partition then begin
+    (* Gray-failure mode: replicated geometry with one seed-chosen server
+       partitioned (not crashed) over a seed-chosen window. The window is
+       sized so the 20us lease reliably expires inside it (heartbeat
+       escalation lands ~90-150us after the cut): every seed exercises a
+       false suspicion, the epoch fence, and a post-heal rejoin. The
+       scope coin flip alternates the two gray-failure shapes — [Isolate]
+       (clients blocked too, park-and-retry) and [Control] (zombie
+       primary still reachable by clients, fencing load-bearing). Same
+       stream-position discipline as crash mode: drawn after all geometry
+       draws. *)
+    let ms =
+      match kernel with
+      | Racy -> 2
+      | Micro | Jacobi | Kv -> 2 + Desim.Rng.int rng 2
+    in
+    let scope =
+      if Desim.Rng.bool rng then Samhita.Config.Control
+      else Samhita.Config.Isolate
+    in
+    let victim = Desim.Rng.int rng ms in
+    let start = 5_000 + Desim.Rng.int rng 100_000 in
+    let dur = 200_000 + Desim.Rng.int rng 300_001 in
+    { base with
+      Samhita.Config.memory_servers = ms;
+      replication = 1;
+      lease_interval = Desim.Time.ns 20_000;
+      partition_server = Some (victim, scope, start, start + dur) }
+  end
   else base
 
-let run_one ?(crash = false) ?(crash_shard = false) ~kernel ~level ~seed () =
+let run_one ?(crash = false) ?(crash_shard = false) ?(partition = false)
+    ~kernel ~level ~seed () =
   (* All scenario draws come from a stream independent of the system's own
      seeded streams (engine tie-break, fault policy). *)
   let rng = Desim.Rng.create ~seed:(Desim.Rng.hash3 seed 0x746f72 1) in
-  let config = config_for ~kernel ~level ~crash ~crash_shard ~seed rng in
+  let config =
+    config_for ~kernel ~level ~crash ~crash_shard ~partition ~seed rng
+  in
   let oracle = Oracle.create ~config () in
   let captured = ref None in
   let on_create sys =
@@ -232,10 +266,21 @@ let run_one ?(crash = false) ?(crash_shard = false) ~kernel ~level ~seed () =
       (match !captured with
        | Some sys -> Samhita.Metrics.replication_of_system sys
        | None -> None);
+    o_detect =
+      (match !captured with
+       | Some sys -> Samhita.Metrics.detection_of_system sys
+       | None -> None);
     o_ctl =
       (match !captured with
        | Some sys -> Samhita.Metrics.control_of_system sys
-       | None -> None) }
+       | None -> None);
+    o_fault_trace =
+      (match !captured with
+       | Some sys ->
+         (match Fabric.Network.faults (Samhita.System.network sys) with
+          | Some f -> Fabric.Faults.trace_tail f
+          | None -> [])
+       | None -> []) }
 
 type summary = {
   s_kernel : kernel;
@@ -246,23 +291,27 @@ type summary = {
   s_faults : Samhita.Metrics.faults;
   s_promotions : int;
   s_takeovers : int;
+  s_detect : Samhita.Metrics.detection option;
   s_failures : outcome list;
 }
 
 let run ?(replay_check = true) ?(crash = false) ?(crash_shard = false)
-    ~kernel ~level ~seeds ~base_seed () =
+    ?(partition = false) ~kernel ~level ~seeds ~base_seed () =
   if seeds <= 0 then invalid_arg "Torture.Runner.run: seeds must be positive";
   let failures = ref [] in
   let events = ref 0 and reads = ref 0 in
   let fd = ref 0 and fr = ref 0 and fo = ref 0 and ft = ref 0 in
   let promotions = ref 0 and takeovers = ref 0 in
+  let detect = ref None in
   for i = 0 to seeds - 1 do
     let seed = base_seed + i in
-    let o = run_one ~crash ~crash_shard ~kernel ~level ~seed () in
+    let o = run_one ~crash ~crash_shard ~partition ~kernel ~level ~seed () in
     let o =
       if not replay_check then o
       else begin
-        let o2 = run_one ~crash ~crash_shard ~kernel ~level ~seed () in
+        let o2 =
+          run_one ~crash ~crash_shard ~partition ~kernel ~level ~seed ()
+        in
         if
           o2.o_digest <> o.o_digest
           || o2.o_events <> o.o_events
@@ -296,6 +345,30 @@ let run ?(replay_check = true) ?(crash = false) ?(crash_shard = false)
     (match o.o_ctl with
      | Some c -> takeovers := !takeovers + c.Samhita.Metrics.takeovers
      | None -> ());
+    (match o.o_detect with
+     | Some d ->
+       let acc =
+         match !detect with
+         | Some a -> a
+         | None ->
+           { Samhita.Metrics.suspicions = 0;
+             false_suspicions = 0;
+             fenced_messages = 0;
+             rejoins = 0 }
+       in
+       detect :=
+         Some
+           { Samhita.Metrics.suspicions =
+               acc.Samhita.Metrics.suspicions + d.Samhita.Metrics.suspicions;
+             false_suspicions =
+               acc.Samhita.Metrics.false_suspicions
+               + d.Samhita.Metrics.false_suspicions;
+             fenced_messages =
+               acc.Samhita.Metrics.fenced_messages
+               + d.Samhita.Metrics.fenced_messages;
+             rejoins =
+               acc.Samhita.Metrics.rejoins + d.Samhita.Metrics.rejoins }
+     | None -> ());
     if o.o_violations <> [] then failures := o :: !failures
   done;
   { s_kernel = kernel;
@@ -310,6 +383,7 @@ let run ?(replay_check = true) ?(crash = false) ?(crash_shard = false)
         retried = !ft };
     s_promotions = !promotions;
     s_takeovers = !takeovers;
+    s_detect = !detect;
     s_failures = List.rev !failures }
 
 let pp_outcome ppf o =
@@ -322,6 +396,11 @@ let pp_outcome ppf o =
   if o.o_trace <> [] then begin
     Format.fprintf ppf "  trace tail (%d events):@," (List.length o.o_trace);
     List.iter (fun l -> Format.fprintf ppf "    %s@," l) o.o_trace
+  end;
+  if o.o_fault_trace <> [] then begin
+    Format.fprintf ppf "  fault trace (%d events):@,"
+      (List.length o.o_fault_trace);
+    List.iter (fun l -> Format.fprintf ppf "    %s@," l) o.o_fault_trace
   end;
   Format.fprintf ppf "@]"
 
@@ -336,6 +415,14 @@ let pp_summary ppf s =
     Format.fprintf ppf "crash recovery: %d promotion(s)@," s.s_promotions;
   if s.s_takeovers > 0 then
     Format.fprintf ppf "shard recovery: %d takeover(s)@," s.s_takeovers;
+  (match s.s_detect with
+   | None -> ()
+   | Some d ->
+     Format.fprintf ppf
+       "gray failures: suspicions=%d false-suspicions=%d fenced=%d \
+        rejoins=%d@,"
+       d.Samhita.Metrics.suspicions d.Samhita.Metrics.false_suspicions
+       d.Samhita.Metrics.fenced_messages d.Samhita.Metrics.rejoins);
   Format.fprintf ppf "%s@]"
     (if s.s_failures = [] then "all seeds clean"
      else Printf.sprintf "%d FAILING seed(s)" (List.length s.s_failures))

@@ -28,13 +28,20 @@ type outcome = {
   o_faults : Samhita.Metrics.faults option;
   o_repl : Samhita.Metrics.replication option;
       (** Crash-fault-tolerance counters; [None] outside crash mode. *)
+  o_detect : Samhita.Metrics.detection option;
+      (** Failure-detection counters; [None] outside partition mode. *)
   o_ctl : Samhita.Metrics.control option;
       (** Control-plane counters; [None] outside shard-crash mode. *)
+  o_fault_trace : string list;
+      (** The fabric fault policy's event ring (drops, reorders,
+          partition blocks — each with its instant), oldest first; the
+          injection context printed with a failing seed. *)
 }
 
 val run_one :
   ?crash:bool ->
   ?crash_shard:bool ->
+  ?partition:bool ->
   kernel:kernel -> level:Fabric.Faults.level -> seed:int -> unit -> outcome
 (** One deterministic torture run. Deadlock ([Desim.Engine.Stalled]) and
     kernel crashes are reported as violations, never raised. With [crash]
@@ -46,7 +53,13 @@ val run_one :
     instead derives a sharded control plane (2..4 manager shards) and a
     fail-stop crash of one seed-chosen non-zero shard; the ring successor
     absorbs the dead shard's sync objects mid-run and every oracle
-    invariant must hold across the takeover. *)
+    invariant must hold across the takeover. With [partition] (default
+    off, mutually exclusive with both) the seed derives a replicated
+    geometry and a {e gray failure}: one server partitioned over a
+    bounded window (scope seed-chosen between [Isolate] and [Control]),
+    long enough that its lease falsely expires — the oracle then also
+    checks the fencing invariants (no split-brain, no lost acked write
+    across the false suspicion, rejoin convergence). *)
 
 type summary = {
   s_kernel : kernel;
@@ -57,6 +70,9 @@ type summary = {
   s_faults : Samhita.Metrics.faults;  (** Summed over all runs. *)
   s_promotions : int;  (** Backup promotions summed over all runs. *)
   s_takeovers : int;  (** Shard takeovers summed over all runs. *)
+  s_detect : Samhita.Metrics.detection option;
+      (** Failure-detection counters summed over all runs; [None] outside
+          partition mode. *)
   s_failures : outcome list;  (** Seeds with at least one violation. *)
 }
 
@@ -64,14 +80,15 @@ val run :
   ?replay_check:bool ->
   ?crash:bool ->
   ?crash_shard:bool ->
+  ?partition:bool ->
   kernel:kernel ->
   level:Fabric.Faults.level ->
   seeds:int -> base_seed:int -> unit -> summary
 (** Torture [seeds] consecutive seeds starting at [base_seed]. With
     [replay_check] (default on) every seed runs twice and any divergence
     in digest, event count or makespan is itself a ["nondeterminism"]
-    violation. [crash] and [crash_shard] are passed through to
-    {!run_one}. *)
+    violation. [crash], [crash_shard] and [partition] are passed through
+    to {!run_one}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Failing-seed report: violations then the trace tail. *)

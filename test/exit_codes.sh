@@ -49,6 +49,16 @@ expect 0 "clean shard-crash torture sweep" torture --kernel micro --seeds 2 --fa
 expect 2 "torture rejects crash + crash-shard" torture --kernel micro --seeds 1 --crash --crash-shard
 expect 2 "torture rejects crash-shard on racy" torture --kernel racy --seeds 1 --crash-shard
 
+# torture partition mode: clean gray-failure sweep 0, incompatible modes 2.
+expect 0 "clean partition torture sweep" torture --kernel micro --seeds 2 --faults off --partition
+expect 2 "torture rejects crash + partition" torture --kernel micro --seeds 1 --crash --partition
+expect 2 "torture rejects partition on racy" torture --kernel racy --seeds 1 --partition
+
+# check gray model: fenced runs clean (0), replay/crash are usage errors.
+expect 0 "gray fence model holds" check --kernel gray
+expect 2 "gray rejects replay" check --kernel gray --replay 0
+expect 2 "gray rejects crash" check --kernel gray --crash
+
 # kernel control-plane geometry: sharded run clean, bad geometry 2.
 expect 0 "sharded micro run" micro -t 4 --shards 2
 expect 2 "micro rejects zero shards" micro -t 4 --shards 0

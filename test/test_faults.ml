@@ -199,11 +199,15 @@ let test_dead_dst_escalates_after_budget () =
    | Some (n, at) ->
      Alcotest.(check int) "names the dead node" 1 n;
      (* The give-up instant is the send instant of the final attempt: the
-        sum of the timeouts of attempts 0 .. budget-1. *)
+        sum of the timeouts of attempts 0 .. budget-1, each offset by the
+        per-(src,dst,attempt) backoff jitter. *)
      let expect =
        let acc = ref 0 in
        for k = 0 to Fabric.Scl.dead_retry_budget - 1 do
-         acc := !acc + Fabric.Scl.retry_timeout net ~bytes:256 ~attempt:k
+         acc :=
+           !acc
+           + Fabric.Scl.retry_timeout net ~bytes:256 ~attempt:k
+           + Fabric.Faults.retry_jitter faults ~src:0 ~dst:1 ~attempt:k
        done;
        !acc
      in

@@ -1,0 +1,437 @@
+(* Gray failures: partitions, false suspicion, epoch fencing and rejoin.
+
+   These tests partition one memory server mid-run — the server keeps
+   executing, unlike a crash — and check that the lease detector's false
+   suspicion is survivable: the backup is promoted under a new epoch,
+   stale traffic is fenced, no acked write is lost, and the zombie
+   rejoins as a backup after the heal. *)
+
+module T = Samhita.Thread_ctx
+
+let cfg = Samhita.Config.default
+let line_bytes = Samhita.Config.line_bytes cfg
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* A replicated two-server geometry with a short lease so the detector
+   fires inside the partition window at test scale. *)
+let gray_config ?partition_server ?stall_server () =
+  { cfg with
+    memory_servers = 2;
+    replication = 1;
+    lease_interval = Desim.Time.ns 20_000;
+    partition_server;
+    stall_server }
+
+(* ---------------- configuration validation ---------------- *)
+
+let test_config_validation () =
+  let bad c =
+    match Samhita.Config.validate c with Ok () -> false | Error _ -> true
+  in
+  let iso = Samhita.Config.Isolate in
+  Alcotest.(check bool) "victim out of range" true
+    (bad (gray_config ~partition_server:(2, iso, 0, 1000) ()));
+  Alcotest.(check bool) "empty window rejected" true
+    (bad (gray_config ~partition_server:(0, iso, 1000, 1000) ()));
+  Alcotest.(check bool) "negative start rejected" true
+    (bad (gray_config ~partition_server:(0, iso, -1, 1000) ()));
+  Alcotest.(check bool) "partition requires replication" true
+    (bad
+       { (gray_config ~partition_server:(0, iso, 0, 1000) ()) with
+         replication = 0 });
+  Alcotest.(check bool) "partition excludes crash" true
+    (bad
+       { (gray_config ~partition_server:(0, iso, 0, 1000) ()) with
+         crash_server = Some (1, 5000) });
+  Alcotest.(check bool) "stall victim out of range" true
+    (bad (gray_config ~stall_server:(2, 0, 1000) ()));
+  Alcotest.(check bool) "valid partition accepted" false
+    (bad (gray_config ~partition_server:(0, iso, 5_000, 300_000) ()));
+  Alcotest.(check bool) "valid stall accepted" false
+    (bad (gray_config ~stall_server:(0, 5_000, 300_000) ()));
+  (match Samhita.Config.scope_of_string "control" with
+   | Ok Samhita.Config.Control -> ()
+   | _ -> Alcotest.fail "scope_of_string control");
+  (match Samhita.Config.scope_of_string "iso" with
+   | Ok Samhita.Config.Isolate -> ()
+   | _ -> Alcotest.fail "scope_of_string iso");
+  match Samhita.Config.scope_of_string "sideways" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown scope accepted"
+
+(* ---------------- retry jitter (decorrelated backoff) ---------------- *)
+
+let test_retry_jitter_diverges () =
+  let f = Fabric.Faults.create ~seed:42 ~level:Fabric.Faults.Off () in
+  (* Deterministic and bounded. *)
+  for attempt = 0 to 5 do
+    let j = Fabric.Faults.retry_jitter f ~src:3 ~dst:1 ~attempt in
+    Alcotest.(check int) "jitter is a pure function" j
+      (Fabric.Faults.retry_jitter f ~src:3 ~dst:1 ~attempt);
+    Alcotest.(check bool) "jitter bounded" true (j >= 0 && j < 1024)
+  done;
+  (* Two clients retrying against the same server must not retry in
+     lockstep: their jitter sequences differ somewhere in the budget. *)
+  let diverged = ref false in
+  for attempt = 0 to Fabric.Scl.dead_retry_budget - 1 do
+    if
+      Fabric.Faults.retry_jitter f ~src:3 ~dst:1 ~attempt
+      <> Fabric.Faults.retry_jitter f ~src:4 ~dst:1 ~attempt
+    then diverged := true
+  done;
+  Alcotest.(check bool) "two clients' retry instants diverge" true !diverged;
+  (* Different seeds decorrelate the same (src, dst, attempt). *)
+  let g = Fabric.Faults.create ~seed:43 ~level:Fabric.Faults.Off () in
+  let diverged = ref false in
+  for attempt = 0 to Fabric.Scl.dead_retry_budget - 1 do
+    if
+      Fabric.Faults.retry_jitter f ~src:3 ~dst:1 ~attempt
+      <> Fabric.Faults.retry_jitter g ~src:3 ~dst:1 ~attempt
+    then diverged := true
+  done;
+  Alcotest.(check bool) "seeds decorrelate jitter" true !diverged
+
+(* ---------------- partition window semantics ---------------- *)
+
+let test_partition_window () =
+  let t0 = Desim.Time.of_ns 10_000 and t1 = Desim.Time.of_ns 20_000 in
+  (* Isolate: empty peer list means everyone is blocked. *)
+  let f =
+    Fabric.Faults.create ~partition:(2, [], t0, t1) ~seed:7
+      ~level:Fabric.Faults.Off ()
+  in
+  let at ns = Desim.Time.of_ns ns in
+  Alcotest.(check (option int)) "closed before the window" None
+    (Fabric.Faults.unreachable_peer f ~src:0 ~dst:2 ~at:(at 9_999));
+  Alcotest.(check (option int)) "victim named inside the window" (Some 2)
+    (Fabric.Faults.unreachable_peer f ~src:0 ~dst:2 ~at:(at 10_000));
+  Alcotest.(check (option int)) "both directions blocked" (Some 2)
+    (Fabric.Faults.unreachable_peer f ~src:2 ~dst:0 ~at:(at 15_000));
+  Alcotest.(check (option int)) "healed at the heal instant" None
+    (Fabric.Faults.unreachable_peer f ~src:0 ~dst:2 ~at:(at 20_000));
+  Alcotest.(check (option int)) "bystanders unaffected" None
+    (Fabric.Faults.unreachable_peer f ~src:0 ~dst:1 ~at:(at 15_000));
+  (* Control: only the listed peers are cut off from the victim. *)
+  let g =
+    Fabric.Faults.create ~partition:(2, [ 5 ], t0, t1) ~seed:7
+      ~level:Fabric.Faults.Off ()
+  in
+  Alcotest.(check (option int)) "listed peer blocked" (Some 2)
+    (Fabric.Faults.unreachable_peer g ~src:5 ~dst:2 ~at:(at 15_000));
+  Alcotest.(check (option int)) "unlisted peer passes" None
+    (Fabric.Faults.unreachable_peer g ~src:0 ~dst:2 ~at:(at 15_000))
+
+(* ---------------- epoch fencing (directory unit) ---------------- *)
+
+let test_directory_epoch_fence () =
+  let config = gray_config () in
+  let dir = Samhita.Directory.create config in
+  Alcotest.(check int) "epoch starts at 0" 0 (Samhita.Directory.epoch dir);
+  Alcotest.(check int) "slots start at 0" 0
+    (Samhita.Directory.epoch_of dir ~logical:0);
+  (* A healthy-epoch fence passes. *)
+  Samhita.Directory.fence dir ~logical:0 ~epoch:0;
+  Alcotest.(check int) "passing fence not counted" 0
+    (Samhita.Directory.fenced dir);
+  (* Promotion bumps to at least the detector's epoch and stamps the
+     repointed slot. *)
+  let promoted = Samhita.Directory.promote ~epoch:5 dir ~dead:0 in
+  Alcotest.(check int) "backup promoted" 1 promoted;
+  Alcotest.(check int) "epoch takes the detector's stamp" 5
+    (Samhita.Directory.epoch dir);
+  Alcotest.(check int) "repointed slot stamped" 5
+    (Samhita.Directory.epoch_of dir ~logical:0);
+  (* Traffic resolved under the old epoch is fenced and counted. *)
+  (match Samhita.Directory.fence dir ~logical:0 ~epoch:0 with
+   | () -> Alcotest.fail "stale fence must raise"
+   | exception Samhita.Directory.Stale_epoch -> ());
+  Alcotest.(check int) "fenced message counted" 1
+    (Samhita.Directory.fenced dir);
+  (* Current-epoch traffic passes. *)
+  Samhita.Directory.fence dir ~logical:0 ~epoch:5
+
+(* ---------------- oracle: split-brain detection ---------------- *)
+
+let test_oracle_split_brain () =
+  let oracle = Torture.Oracle.create ~config:cfg () in
+  let p = Torture.Oracle.probe oracle in
+  let data = Bytes.create line_bytes in
+  let at ns = Desim.Time.of_ns ns in
+  p.Samhita.Probe.on_recovery ~time:(at 100_000) ~failed:0 ~promoted:1
+    ~replayed:0;
+  (* A publication at the promoted server is fine. *)
+  p.Samhita.Probe.on_publish ~thread:0 ~time:(at 150_000) ~server:1 ~line:3
+    ~version:1 ~data;
+  Alcotest.(check int) "promoted server publishes freely" 0
+    (List.length (Torture.Oracle.violations oracle));
+  (* A publication routed through the deposed primary is split-brain. *)
+  p.Samhita.Probe.on_publish ~thread:0 ~time:(at 150_001) ~server:0 ~line:3
+    ~version:2 ~data;
+  match Torture.Oracle.violations oracle with
+  | [ v ] ->
+    Alcotest.(check string) "classified" "split-brain"
+      v.Torture.Oracle.v_class
+  | vs ->
+    Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
+
+(* ---------------- end-to-end partition runs ---------------- *)
+
+(* The workhorse, mirroring test_recovery's crash_run: [threads] writers
+   hammer a lock-protected counter while one server is partitioned over
+   a window. The run must complete, every acked increment must survive,
+   and — when the window is long enough for the lease to expire — the
+   detector's false suspicion must end in a fenced epoch bump and a
+   post-heal rejoin. *)
+let partition_run ?stall_server ?partition_server ~threads ~iters () =
+  let config = gray_config ?partition_server ?stall_server () in
+  let addr = ref 0 in
+  let final = ref nan in
+  let sys = Samhita.System.create ~config ~threads () in
+  let l = Samhita.System.mutex sys in
+  let bar = Samhita.System.barrier sys ~parties:threads in
+  for tid = 0 to threads - 1 do
+    ignore
+      (Samhita.System.spawn sys (fun t ->
+           if tid = 0 then begin
+             addr := T.malloc t ~bytes:8;
+             T.write_f64 t !addr 0.0
+           end;
+           T.barrier_wait t bar;
+           for _ = 1 to iters do
+             T.mutex_lock t l;
+             T.write_f64 t !addr (T.read_f64 t !addr +. 1.0);
+             T.mutex_unlock t l
+           done;
+           T.barrier_wait t bar;
+           if tid = 0 then begin
+             T.mutex_lock t l;
+             final := T.read_f64 t !addr;
+             T.mutex_unlock t l
+           end)
+        : T.t)
+  done;
+  Samhita.System.run sys;
+  (sys, !final)
+
+let detection sys =
+  match Samhita.Metrics.detection_of_system sys with
+  | Some d -> d
+  | None -> Alcotest.fail "detection counters expected"
+
+let test_partition_isolate_survives () =
+  let threads = 4 and iters = 25 in
+  let sys, final =
+    partition_run
+      ~partition_server:(0, Samhita.Config.Isolate, 5_000, 400_000)
+      ~threads ~iters ()
+  in
+  Alcotest.(check (float 0.)) "all acked increments survive the partition"
+    (float_of_int (threads * iters))
+    final;
+  let d = detection sys in
+  Alcotest.(check bool) "lease falsely expired" true (d.suspicions >= 1);
+  Alcotest.(check int) "suspicion was false" d.suspicions d.false_suspicions;
+  Alcotest.(check int) "zombie rejoined after the heal" 1 d.rejoins;
+  Alcotest.(check bool) "epoch advanced" true
+    (Samhita.Directory.epoch (Samhita.System.directory sys) >= 1)
+
+let test_partition_control_zombie_fenced () =
+  (* Control scope: clients can still reach the deposed primary — the
+     epoch fence is what keeps the zombie from serving. Safety is the
+     checkable part: every acked increment must land exactly once. *)
+  let threads = 4 and iters = 25 in
+  let sys, final =
+    partition_run
+      ~partition_server:(0, Samhita.Config.Control, 5_000, 400_000)
+      ~threads ~iters ()
+  in
+  Alcotest.(check (float 0.)) "no increment lost or doubled via the zombie"
+    (float_of_int (threads * iters))
+    final;
+  let d = detection sys in
+  Alcotest.(check bool) "lease falsely expired" true (d.suspicions >= 1);
+  Alcotest.(check int) "zombie rejoined" 1 d.rejoins
+
+(* Boundary sweep: the heal instant crosses the lease-expiry instant.
+   Short windows heal before the detector fires (no suspicion, no
+   promotion); long windows promote and must rejoin. Every point must
+   complete with the exact counter value — including the race where the
+   expiry lands at the heal instant itself. *)
+let test_lease_expiry_at_heal_boundary () =
+  let threads = 2 and iters = 15 in
+  let saw_quiet = ref false and saw_promoted = ref false in
+  List.iter
+    (fun heal ->
+       let sys, final =
+         partition_run
+           ~partition_server:(0, Samhita.Config.Isolate, 5_000, heal)
+           ~threads ~iters ()
+       in
+       Alcotest.(check (float 0.))
+         (Printf.sprintf "heal=%dns completes exactly" heal)
+         (float_of_int (threads * iters))
+         final;
+       let d = detection sys in
+       if d.suspicions = 0 then saw_quiet := true
+       else begin
+         saw_promoted := true;
+         Alcotest.(check int)
+           (Printf.sprintf "heal=%dns: suspicion implies rejoin" heal)
+           1 d.rejoins
+       end)
+    [ 25_000; 60_000; 90_000; 110_000; 130_000; 150_000; 200_000; 300_000 ];
+  Alcotest.(check bool) "sweep crosses the expiry boundary" true
+    (!saw_quiet && !saw_promoted)
+
+(* A stall is latency, not loss: the victim answers late but heartbeats
+   still complete, so the detector must NOT fire. *)
+let test_stall_is_not_suspected () =
+  let threads = 2 and iters = 15 in
+  let sys, final =
+    partition_run ~stall_server:(0, 5_000, 300_000) ~threads ~iters ()
+  in
+  Alcotest.(check (float 0.)) "stalled run completes exactly"
+    (float_of_int (threads * iters))
+    final;
+  let d = detection sys in
+  Alcotest.(check int) "slow is not dead: no suspicion" 0 d.suspicions;
+  Alcotest.(check int) "no rejoin needed" 0 d.rejoins
+
+let test_partition_run_deterministic () =
+  let run () =
+    let sys, final =
+      partition_run
+        ~partition_server:(1, Samhita.Config.Control, 10_000, 350_000)
+        ~threads:3 ~iters:15 ()
+    in
+    let d = detection sys in
+    ( Desim.Time.to_ns (Samhita.System.elapsed sys),
+      final,
+      d.suspicions,
+      d.fenced_messages,
+      d.rejoins )
+  in
+  let w1, f1, s1, fe1, r1 = run () in
+  let w2, f2, s2, fe2, r2 = run () in
+  Alcotest.(check int) "same makespan" w1 w2;
+  Alcotest.(check (float 0.)) "same result" f1 f2;
+  Alcotest.(check int) "same suspicions" s1 s2;
+  Alcotest.(check int) "same fenced" fe1 fe2;
+  Alcotest.(check int) "same rejoins" r1 r2
+
+(* ---------------- suspicion vs in-flight write (model) ---------------- *)
+
+(* The gray model exhausts every interleaving of a replicated write with
+   the suspect/heal/rejoin events — including a write resolved before the
+   promotion and delivered after it: the write either commits under the
+   old epoch (delivered before the suspect) or is fenced and re-run,
+   never half-applied. The fence-disabled negative control proves the
+   invariant checks can fail. *)
+let test_suspicion_during_inflight_write () =
+  List.iter
+    (fun scope ->
+       let r = Check.Gray.explore ~scope ~writes:2 () in
+       Alcotest.(check int)
+         (Printf.sprintf "scope %s: no violations with the fence"
+            (Check.Gray.scope_name scope))
+         0
+         (List.length r.Check.Gray.g_defects);
+       Alcotest.(check bool) "interleavings explored" true
+         (r.Check.Gray.g_states > 10);
+       Alcotest.(check bool) "some deliveries were fenced" true
+         (r.Check.Gray.g_fenced > 0))
+    [ Check.Gray.Isolate; Check.Gray.Control ];
+  let neg =
+    Check.Gray.explore ~fence:false ~scope:Check.Gray.Control ~writes:2 ()
+  in
+  Alcotest.(check bool) "fence disabled: split-brain found" true
+    (List.exists
+       (fun (msg, _) -> contains msg "split-brain")
+       neg.Check.Gray.g_defects)
+
+(* ---------------- reporting gates ---------------- *)
+
+(* Healthy and crash-only runs must not grow a detection section: the
+   counters are gated on gray-failure injection so the seed build's
+   reports stay byte-identical. *)
+let test_detection_gated () =
+  let sys = Samhita.System.create ~config:cfg ~threads:1 () in
+  ignore
+    (Samhita.System.spawn sys (fun t -> ignore (T.malloc t ~bytes:64 : int))
+      : T.t);
+  Samhita.System.run sys;
+  (match Samhita.Metrics.detection_of_system sys with
+   | None -> ()
+   | Some _ -> Alcotest.fail "healthy run must not report detection");
+  let pp = Format.asprintf "%a" Samhita.Config.pp cfg in
+  Alcotest.(check bool) "default config pp has no gray line" false
+    (contains pp "gray:")
+
+let test_report_shows_detection_line () =
+  let sys, _ =
+    partition_run
+      ~partition_server:(0, Samhita.Config.Isolate, 5_000, 400_000)
+      ~threads:2 ~iters:10 ()
+  in
+  let report =
+    Format.asprintf "%a" Harness.Report.pp (Harness.Report.of_system sys)
+  in
+  Alcotest.(check bool) "failure detection section present" true
+    (contains report "failure detection");
+  Alcotest.(check bool) "fault tolerance section present too" true
+    (contains report "fault tolerance")
+
+(* ---------------- torture integration ---------------- *)
+
+(* One deterministic partition-torture seed end to end: clean oracle,
+   detection counters populated, and the failing-seed artifact machinery
+   (fault trace ring) captures the partition events. *)
+let test_torture_partition_seed () =
+  let o =
+    Torture.Runner.run_one ~partition:true ~kernel:Torture.Runner.Jacobi
+      ~level:Fabric.Faults.Off ~seed:10 ()
+  in
+  Alcotest.(check int) "seed 10 clean" 0 (List.length o.Torture.Runner.o_violations);
+  (match o.Torture.Runner.o_detect with
+   | None -> Alcotest.fail "detection counters expected"
+   | Some d ->
+     Alcotest.(check bool) "suspicion recorded" true (d.suspicions >= 1);
+     Alcotest.(check int) "rejoin recorded" 1 d.rejoins);
+  Alcotest.(check bool) "fault trace captured partition events" true
+    (List.exists
+       (fun l -> contains l "partition")
+       o.Torture.Runner.o_fault_trace)
+
+let tests =
+  [ Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "retry jitter diverges" `Quick
+      test_retry_jitter_diverges;
+    Alcotest.test_case "partition window semantics" `Quick
+      test_partition_window;
+    Alcotest.test_case "directory epoch fence" `Quick
+      test_directory_epoch_fence;
+    Alcotest.test_case "oracle split-brain" `Quick test_oracle_split_brain;
+    Alcotest.test_case "isolate partition survives" `Quick
+      test_partition_isolate_survives;
+    Alcotest.test_case "control zombie fenced" `Quick
+      test_partition_control_zombie_fenced;
+    Alcotest.test_case "lease expiry at heal boundary" `Quick
+      test_lease_expiry_at_heal_boundary;
+    Alcotest.test_case "stall is not suspected" `Quick
+      test_stall_is_not_suspected;
+    Alcotest.test_case "partition run deterministic" `Quick
+      test_partition_run_deterministic;
+    Alcotest.test_case "suspicion during in-flight write" `Quick
+      test_suspicion_during_inflight_write;
+    Alcotest.test_case "detection gated off by default" `Quick
+      test_detection_gated;
+    Alcotest.test_case "report shows detection line" `Quick
+      test_report_shows_detection_line;
+    Alcotest.test_case "torture partition seed" `Quick
+      test_torture_partition_seed ]
+
+let () = Alcotest.run "samhita.partition" [ ("gray-failures", tests) ]
